@@ -1,0 +1,29 @@
+"""Table 2 benchmark: UIO sequence derivation for the worked example.
+
+Regenerates the paper's Table 2 (the UIO sequences of ``lion``) and times
+the search.  The assertions pin the exact sequences the paper prints.
+"""
+
+from __future__ import annotations
+
+from repro.benchmarks import load_circuit
+from repro.uio.search import compute_uio_table
+
+
+def test_lion_uio_table(benchmark):
+    lion = load_circuit("lion")
+    uio = benchmark(compute_uio_table, lion)
+    assert uio.n_found == 2
+    assert uio.get(0).inputs == (0b00,)
+    assert uio.get(0).final_state == 0
+    assert uio.get(2).inputs == (0b00, 0b11)
+    assert uio.get(2).final_state == 3
+    assert uio.get(1) is None and uio.get(3) is None
+
+
+def test_shiftreg_uio_table(benchmark):
+    shiftreg = load_circuit("shiftreg")
+    uio = benchmark(compute_uio_table, shiftreg)
+    # Table 4 row: every state distinguishable, max length 3.
+    assert uio.n_found == 8
+    assert uio.max_found_length == 3

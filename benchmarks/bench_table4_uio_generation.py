@@ -1,0 +1,32 @@
+"""Table 4 benchmark: UIO generation statistics across the benchmark suite.
+
+One benchmark per circuit: time ``compute_uio_table`` (the paper's ``time``
+column) and assert the structural facts the table reports — the number of
+states with UIOs never exceeds the state count, lengths respect ``L = N_SV``,
+and every produced sequence is genuinely unique (re-proved against the
+machine).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_circuits
+from repro.benchmarks import get_spec, load_circuit
+from repro.uio.search import compute_uio_table
+
+
+@pytest.mark.parametrize("name", bench_circuits())
+def test_uio_generation(benchmark, name):
+    table = load_circuit(name)
+    spec = get_spec(name)
+    uio = benchmark.pedantic(
+        compute_uio_table, args=(table,), rounds=1, iterations=1
+    )
+    assert 0 <= uio.n_found <= spec.n_states
+    assert uio.max_found_length <= spec.n_state_variables
+    uio.verify(table)
+    if spec.n_fill_states >= 2:
+        # Identical completion states are equivalent: provably no UIOs.
+        for state in range(spec.n_core_states, spec.n_states):
+            assert not uio.has(state)

@@ -1,0 +1,40 @@
+"""Table 5 benchmark: functional test generation across the suite.
+
+Times ``generate_tests`` per circuit (the paper's ``time`` column) and
+asserts Table 5's shape: fewer tests than transitions, every transition
+covered with verified endpoints (checked independently), and ``lion``'s
+row pinned to the paper's exact numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_circuits
+from repro.benchmarks import load_circuit
+from repro.benchmarks.paper_data import PAPER_TABLE5
+from repro.core.coverage import verify_test_set
+from repro.core.generator import generate_tests
+
+
+@pytest.mark.parametrize("name", bench_circuits())
+def test_functional_test_generation(benchmark, name):
+    table = load_circuit(name)
+    result = benchmark.pedantic(
+        generate_tests, args=(table,), rounds=1, iterations=1
+    )
+    paper = PAPER_TABLE5[name]
+    assert table.n_transitions == paper.trans
+    assert result.n_tests <= table.n_transitions
+    assert 0.0 <= result.pct_length_one <= 100.0
+    report = verify_test_set(table, result.test_set)
+    assert report.is_complete
+
+
+def test_lion_row_matches_paper_exactly(benchmark):
+    table = load_circuit("lion")
+    result = benchmark(generate_tests, table)
+    paper = PAPER_TABLE5["lion"]
+    assert result.n_tests == paper.tests == 9
+    assert result.total_length == paper.length == 28
+    assert result.pct_length_one == pytest.approx(paper.pct_len1)

@@ -1,0 +1,43 @@
+"""Table 7 benchmark: clock cycles for test application.
+
+Times the end-to-end cycle accounting (baseline vs functional vs effective
+subsets) per circuit and asserts the paper's shape: the functional tests do
+not meaningfully exceed the baseline, and the effective subsets cost a small
+fraction of it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import gate_level_circuits
+from repro.core.testset import baseline_clock_cycles
+from repro.harness.experiments import StudyOptions, CircuitStudy
+
+OPTIONS = StudyOptions(bridging_pair_limit=200)
+
+
+def cycle_row(name: str):
+    # A fresh study each round: this benchmark times the whole pipeline.
+    study = CircuitStudy(name, OPTIONS)
+    base = study.baseline_cycles
+    funct = study.generation.clock_cycles()
+    sa = study.stuck_at_selection.effective.clock_cycles()
+    bridge = study.bridging_selection.effective.clock_cycles()
+    return base, funct, sa, bridge
+
+
+@pytest.mark.parametrize("name", gate_level_circuits())
+def test_clock_cycles(benchmark, name):
+    base, funct, sa, bridge = benchmark.pedantic(
+        cycle_row, args=(name,), rounds=1, iterations=1
+    )
+    assert base == baseline_clock_cycles(
+        CircuitStudy(name, OPTIONS).table.n_state_variables,
+        CircuitStudy(name, OPTIONS).table.n_transitions,
+    )
+    # Paper shape: chained tests at most a whisker over the baseline
+    # (their worst case is 102.99%), effective subsets far below it.
+    assert funct <= 1.10 * base
+    assert sa <= funct
+    assert bridge <= funct

@@ -1,0 +1,51 @@
+"""Table 8 benchmark: test generation without transfer sequences.
+
+The paper re-runs the procedure with ``T = 0`` on the circuits whose
+functional tests reached >= 100% of the baseline cycles in Table 7
+(``bbtas``, ``dk15``, ``dk27``, ``shiftreg``) and shows the cycle count
+drops back to at most 100%.  This benchmark regenerates those rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks import load_circuit
+from repro.benchmarks.paper_data import PAPER_TABLE8
+from repro.core.config import GeneratorConfig
+from repro.core.coverage import verify_test_set
+from repro.core.generator import generate_tests
+from repro.core.testset import SegmentKind
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_TABLE8))
+def test_generation_without_transfers(benchmark, name):
+    table = load_circuit(name)
+    config = GeneratorConfig(max_transfer_length=0)
+    result = benchmark(generate_tests, table, config)
+    # No transfer segments anywhere.
+    for test in result.test_set:
+        assert all(
+            segment.kind is not SegmentKind.TRANSFER for segment in test.segments
+        )
+    # Coverage still complete.
+    assert verify_test_set(table, result.test_set).is_complete
+    # The Table 8 claim: without transfers the cycles never exceed the
+    # per-transition baseline.
+    assert result.cycles_pct_of_baseline() <= 100.0 + 1e-9
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_TABLE8))
+def test_transfers_trade_tests_for_length(benchmark, name):
+    """Comparing T=0 against T=1 reproduces the paper's observation that
+    transfers let one test cover more transitions (fewer, longer tests)."""
+    table = load_circuit(name)
+
+    def both():
+        with_t = generate_tests(table, GeneratorConfig(max_transfer_length=1))
+        without = generate_tests(table, GeneratorConfig(max_transfer_length=0))
+        return with_t, without
+
+    with_t, without = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert without.n_tests >= with_t.n_tests
+    assert without.total_length <= with_t.total_length

@@ -1,0 +1,54 @@
+"""Table 9 benchmark: sweeping the UIO length bound ``L``.
+
+For each of the paper's sweep circuits, grows ``L`` from 1 until another
+increase finds no new UIOs (the paper's stopping rule), regenerating the
+tests at every step.  Assertions capture the table's qualitative content:
+the number of states with UIOs grows monotonically with ``L``, every row
+keeps complete verified coverage, and the percentage of length-1 tests
+drops as soon as UIOs become available.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.benchmarks import load_circuit
+from repro.core.config import GeneratorConfig
+from repro.core.coverage import verify_test_set
+from repro.core.generator import generate_tests
+from repro.uio.search import compute_uio_table
+
+# rie has 512 input columns; keep it behind REPRO_FULL.
+CIRCUITS = ("dk512", "ex4", "mark1") + (
+    ("rie",) if int(os.environ.get("REPRO_FULL", "0")) else ()
+)
+
+
+def sweep(name: str):
+    table = load_circuit(name)
+    rows = []
+    previous = -1
+    for bound in range(1, table.n_state_variables + 5):
+        uio = compute_uio_table(table, bound)
+        if uio.n_found == previous:
+            break
+        previous = uio.n_found
+        config = GeneratorConfig(max_uio_length=bound)
+        result = generate_tests(table, config, uio)
+        rows.append((bound, uio.n_found, result))
+    return table, rows
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_length_bound_sweep(benchmark, name):
+    table, rows = benchmark.pedantic(sweep, args=(name,), rounds=1, iterations=1)
+    uniques = [unique for _, unique, _ in rows]
+    assert uniques == sorted(uniques)
+    for _bound, _unique, result in rows:
+        assert verify_test_set(table, result.test_set).is_complete
+    # Once any UIOs exist, chaining starts: fewer length-1 tests than the
+    # all-length-1 degenerate case.
+    if uniques[-1] > 0:
+        assert rows[-1][2].pct_length_one < 100.0

@@ -1,0 +1,40 @@
+"""Shared configuration for the table-regeneration benchmarks.
+
+By default the benchmarks cover the small tier plus a few medium circuits so
+``pytest benchmarks/ --benchmark-only`` completes in minutes.  Set
+``REPRO_FULL=1`` to sweep every circuit of the paper's tables (including
+``dvram``/``fetch``/``log``/``rie``/``nucpwr``), which can take hours — the
+paper's own Table 5 run took 4.3 days on ``nucpwr``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.benchmarks import circuit_names
+
+FULL = bool(int(os.environ.get("REPRO_FULL", "0")))
+
+#: circuits benchmarked by default (small tier + representative medium)
+DEFAULT_CIRCUITS = tuple(sorted(circuit_names("small"))) + ("bbara", "ex4", "mark1")
+
+#: the full paper list when REPRO_FULL=1
+ALL_CIRCUITS = tuple(circuit_names())
+
+
+def bench_circuits() -> tuple[str, ...]:
+    return ALL_CIRCUITS if FULL else DEFAULT_CIRCUITS
+
+
+def gate_level_circuits() -> tuple[str, ...]:
+    """Gate-level tables are costlier; trim the default set further."""
+    if FULL:
+        return tuple(name for name in ALL_CIRCUITS if name != "nucpwr")
+    return tuple(sorted(circuit_names("small")))
+
+
+@pytest.fixture(scope="session")
+def full_mode() -> bool:
+    return FULL

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Implementation-independent design validation with functional tests.
+
+The paper's motivation (1)/(2): a functional test set is generated from the
+*state table* alone, before an implementation exists, and stays valid as the
+implementation evolves.  This example demonstrates exactly that workflow:
+
+1. write a custom protocol-controller FSM with the builder API,
+2. generate one functional test set from the state table,
+3. synthesize THREE different gate-level implementations (flat two-level,
+   fanin-4 multi-level, fanin-2 multi-level),
+4. grade the same test set against each implementation's stuck-at faults —
+   every detectable fault is caught in every implementation without
+   regenerating a single test.
+
+Run:  python examples/design_validation.py
+"""
+
+from repro import GeneratorConfig, generate_tests, verify_test_set
+from repro.fsm.builders import StateTableBuilder
+from repro.fsm.encoding import complete_to_power_of_two
+from repro.gatelevel.detectability import detectable_faults
+from repro.gatelevel.fault_sim import simulate_tests
+from repro.gatelevel.scan import ScanCircuit
+from repro.gatelevel.stuck_at import collapse_stuck_at
+from repro.gatelevel.synthesis import SynthesisOptions
+
+
+def build_link_controller():
+    """A toy link-layer controller: idle / sync / data / error recovery.
+
+    Inputs: (valid, sof) — data-valid strobe and start-of-frame marker.
+    Outputs: (accept, err).
+    """
+    b = StateTableBuilder(n_inputs=2, n_outputs=2, name="linkctl")
+    # state, (valid, sof) -> next state, (accept, err)
+    b.add("idle", (0, 0), "idle", (0, 0))
+    b.add("idle", (0, 1), "idle", (0, 0))
+    b.add("idle", (1, 0), "error", (0, 1))   # data without frame start
+    b.add("idle", (1, 1), "sync", (0, 0))
+    b.add("sync", (0, 0), "error", (0, 1))   # frame died during sync
+    b.add("sync", (0, 1), "sync", (0, 0))
+    b.add("sync", (1, 0), "data", (1, 0))
+    b.add("sync", (1, 1), "sync", (0, 0))    # re-sync
+    b.add("data", (0, 0), "idle", (0, 0))    # end of frame
+    b.add("data", (0, 1), "error", (0, 1))   # unexpected SOF
+    b.add("data", (1, 0), "data", (1, 0))
+    b.add("data", (1, 1), "error", (0, 1))
+    b.add("error", (0, 0), "idle", (0, 0))   # recover on quiet bus
+    b.add("error", (0, 1), "error", (0, 1))
+    b.add("error", (1, 0), "error", (0, 1))
+    b.add("error", (1, 1), "sync", (0, 0))   # fresh frame clears the error
+    # Full scan tests all 2**N_SV codes; complete the table like the paper.
+    return complete_to_power_of_two(b.build())
+
+
+def main() -> None:
+    table = build_link_controller()
+    print(f"machine: {table}")
+
+    result = generate_tests(table, GeneratorConfig())
+    report = verify_test_set(table, result.test_set)
+    print(
+        f"functional tests: {result.n_tests} tests, total length "
+        f"{result.total_length}, coverage "
+        f"{'complete' if report.is_complete else 'INCOMPLETE'}"
+    )
+    print(
+        f"test application: {result.clock_cycles()} cycles "
+        f"({result.cycles_pct_of_baseline():.2f}% of per-transition baseline)"
+    )
+    print()
+
+    implementations = {
+        "two-level SOP": SynthesisOptions(max_fanin=None),
+        "multi-level (fanin 4)": SynthesisOptions(max_fanin=4),
+        "multi-level (fanin 2)": SynthesisOptions(max_fanin=2),
+    }
+    print("grading the SAME test set against three implementations:")
+    for label, options in implementations.items():
+        circuit = ScanCircuit.from_machine(table, options)
+        circuit.verify_against(table)  # implementation really is the FSM
+        faults = sorted(set(collapse_stuck_at(circuit.netlist).values()))
+        detectable, undetectable = detectable_faults(circuit.netlist, faults)
+        sim = simulate_tests(circuit, table, result.test_set, sorted(detectable))
+        caught = "ALL detectable faults detected" if sim.detected == frozenset(
+            detectable
+        ) else f"{len(sim.detected)}/{len(detectable)} detected"
+        print(
+            f"  {label:22s} {circuit.netlist.n_gates:4d} gates, "
+            f"{len(faults):4d} collapsed stuck-at faults "
+            f"({len(undetectable)} redundant): {caught}"
+        )
+    print()
+    print(
+        "The test set never changed — functional tests are implementation-"
+        "independent, which is the paper's design-validation argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy-path shim: lets ``pip install -e . --no-use-pep517`` work offline
+on environments without the ``wheel`` package.  All metadata lives in
+pyproject.toml; keep this file logic-free."""
+
+from setuptools import setup
+
+setup()

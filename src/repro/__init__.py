@@ -1,0 +1,62 @@
+"""Functional test generation for full scan circuits.
+
+A production-quality reproduction of Pomeranz & Reddy, *Functional Test
+Generation for Full Scan Circuits* (DATE 2000): state-table level ATPG for
+single state-transition faults on fully scanned finite-state machines, using
+unique input-output sequences and transfer sequences to chain several
+transitions into each scan test, plus the gate-level substrate (two-level
+synthesis, stuck-at and bridging fault simulation) used by the paper's
+evaluation.
+
+Quickstart
+----------
+>>> from repro import load_circuit, generate_tests
+>>> lion = load_circuit("lion")
+>>> result = generate_tests(lion)
+>>> result.n_tests, result.total_length
+(9, 28)
+"""
+
+from repro._version import __version__
+from repro.benchmarks import (
+    circuit_names,
+    get_spec,
+    list_specs,
+    load_circuit,
+    load_kiss_machine,
+)
+from repro.core import (
+    CoverageReport,
+    GenerationResult,
+    GeneratorConfig,
+    ScanTest,
+    TestSet,
+    generate_tests,
+    per_transition_tests,
+    verify_test_set,
+)
+from repro.fsm import StateTable, StateTableBuilder, parse_kiss
+from repro.uio import compute_uio_table, find_transfer, find_uio
+
+__all__ = [
+    "__version__",
+    "circuit_names",
+    "get_spec",
+    "list_specs",
+    "load_circuit",
+    "load_kiss_machine",
+    "CoverageReport",
+    "GenerationResult",
+    "GeneratorConfig",
+    "ScanTest",
+    "TestSet",
+    "generate_tests",
+    "per_transition_tests",
+    "verify_test_set",
+    "StateTable",
+    "StateTableBuilder",
+    "parse_kiss",
+    "compute_uio_table",
+    "find_transfer",
+    "find_uio",
+]

@@ -1,0 +1,27 @@
+"""Benchmark circuits of the paper's evaluation (Table 4).
+
+The paper evaluates 31 MCNC finite-state-machine benchmarks.  ``lion`` and
+``shiftreg`` are embedded exactly (the paper prints lion's full state table;
+shiftreg is a serial shift register and is reconstructed from its
+definition).  The remaining circuits are deterministic synthetic stand-ins
+with the exact Table 4 dimensions — see DESIGN.md §3 for why this preserves
+the paper's claims.
+"""
+
+from repro.benchmarks.registry import (
+    CircuitSpec,
+    circuit_names,
+    get_spec,
+    list_specs,
+    load_circuit,
+    load_kiss_machine,
+)
+
+__all__ = [
+    "CircuitSpec",
+    "circuit_names",
+    "get_spec",
+    "list_specs",
+    "load_circuit",
+    "load_kiss_machine",
+]

@@ -1,0 +1,71 @@
+"""Benchmark machines that are embedded exactly.
+
+``lion``
+    The paper's Table 1 prints the complete state table, so the machine is
+    reproduced bit-for-bit.  The worked example of Section 2 (Tables 2 and 3
+    and the tests τ0…τ8) is pinned against it in the test suite.
+
+``shiftreg``
+    The MCNC circuit is a 3-bit serial shift register: the state is the
+    register contents, the single input is shifted into the least
+    significant position, and the bit shifted out of the most significant
+    position is the output.  This structural definition reconstructs the
+    exact machine (8 states, 1 input, 1 output; every state has a UIO of
+    length 3, matching the paper's Table 4 row).
+"""
+
+from __future__ import annotations
+
+from repro.fsm.kiss import KissMachine, parse_kiss
+
+__all__ = ["LION_KISS", "lion_machine", "shiftreg_machine", "EXACT_BUILDERS"]
+
+#: KISS2 source of the paper's Table 1 (states named after the paper: 0..3).
+LION_KISS = """\
+.i 2
+.o 1
+.s 4
+.p 16
+.r st0
+00 st0 st0 0
+01 st0 st1 1
+10 st0 st0 0
+11 st0 st0 0
+00 st1 st1 1
+01 st1 st1 1
+10 st1 st3 1
+11 st1 st0 0
+00 st2 st2 1
+01 st2 st2 1
+10 st2 st3 1
+11 st2 st3 1
+00 st3 st1 1
+01 st3 st2 1
+10 st3 st3 1
+11 st3 st3 1
+.e
+"""
+
+
+def lion_machine() -> KissMachine:
+    """The exact ``lion`` benchmark from the paper's Table 1."""
+    return parse_kiss(LION_KISS, name="lion")
+
+
+def shiftreg_machine() -> KissMachine:
+    """The 3-bit serial shift register (MCNC ``shiftreg``)."""
+    from repro.fsm.kiss import KissRow
+
+    rows = []
+    for value in range(8):
+        for bit in range(2):
+            nxt = ((value << 1) | bit) & 0b111
+            out = (value >> 2) & 1
+            rows.append(KissRow(str(bit), f"s{value}", f"s{nxt}", str(out)))
+    return KissMachine(1, 1, rows, "s0", "shiftreg")
+
+
+EXACT_BUILDERS = {
+    "lion": lion_machine,
+    "shiftreg": shiftreg_machine,
+}

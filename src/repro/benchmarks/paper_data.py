@@ -1,0 +1,269 @@
+"""The paper's reported numbers, transcribed for side-by-side comparison.
+
+These values come from Tables 4-9 of Pomeranz & Reddy (DATE 2000).  They are
+*not* used by any algorithm — only by the experiment harness and
+EXPERIMENTS.md generation to print paper-vs-measured rows.  Times are seconds
+on the authors' HP J210 and are reported for context only.
+
+The transcription is validated by arithmetic identities in
+``tests/test_paper_data.py`` (the Table 7 cycle formula ties Tables 4, 5,
+6 and 8 together).  One inconsistency exists in the paper itself: the
+``rie`` row of Table 9 at ``m.len = 7`` prints ``tests = 10052``, which
+does not satisfy the cycle formula; the printed cycles (87405) and
+percentage (88.91) both correspond to ``tests = 10952``, so the tests
+value is almost certainly a one-digit typo in the original.  The value is
+kept as printed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "PaperTable4Row",
+    "PaperTable5Row",
+    "PaperTable6Row",
+    "PaperTable7Row",
+    "PaperTable8Row",
+    "PAPER_TABLE4",
+    "PAPER_TABLE5",
+    "PAPER_TABLE6",
+    "PAPER_TABLE7",
+    "PAPER_TABLE8",
+    "PAPER_TABLE9",
+]
+
+
+@dataclass(frozen=True)
+class PaperTable4Row:
+    pi: int
+    states: int
+    unique: int
+    sv: int
+    max_len: int
+    time_s: float
+
+
+@dataclass(frozen=True)
+class PaperTable5Row:
+    trans: int
+    tests: int
+    length: int
+    pct_len1: float
+    time_s: float
+
+
+@dataclass(frozen=True)
+class PaperTable6Row:
+    sa_tests: int
+    sa_len: int
+    sa_total: int
+    sa_detected: int
+    sa_coverage: float
+    bridge_tests: int
+    bridge_len: int
+    bridge_total: int
+    bridge_detected: int
+    bridge_coverage: float
+
+
+@dataclass(frozen=True)
+class PaperTable7Row:
+    trans_cycles: int
+    funct_cycles: int
+    funct_pct: float
+    sa_cycles: int
+    sa_pct: float
+    bridge_cycles: int
+    bridge_pct: float
+
+
+@dataclass(frozen=True)
+class PaperTable8Row:
+    trans: int
+    tests: int
+    length: int
+    pct_len1: float
+    cycles: int
+    pct: float
+
+
+PAPER_TABLE4: dict[str, PaperTable4Row] = {
+    "bbara": PaperTable4Row(4, 16, 4, 4, 4, 11.49),
+    "bbsse": PaperTable4Row(7, 16, 13, 4, 3, 7.64),
+    "bbtas": PaperTable4Row(2, 8, 1, 3, 3, 0.08),
+    "beecount": PaperTable4Row(3, 8, 5, 3, 3, 0.05),
+    "cse": PaperTable4Row(7, 16, 15, 4, 3, 36.21),
+    "dk14": PaperTable4Row(3, 8, 1, 3, 1, 0.08),
+    "dk15": PaperTable4Row(3, 4, 3, 2, 2, 0.02),
+    "dk16": PaperTable4Row(2, 32, 23, 5, 3, 4.70),
+    "dk17": PaperTable4Row(2, 8, 6, 3, 2, 0.03),
+    "dk27": PaperTable4Row(1, 8, 5, 3, 3, 0.01),
+    "dk512": PaperTable4Row(1, 16, 6, 4, 4, 0.14),
+    "dvram": PaperTable4Row(8, 64, 48, 6, 6, 5649.94),
+    "ex2": PaperTable4Row(2, 32, 14, 5, 4, 2.36),
+    "ex3": PaperTable4Row(2, 16, 10, 4, 3, 0.26),
+    "ex4": PaperTable4Row(5, 16, 9, 4, 4, 18.98),
+    "ex5": PaperTable4Row(2, 8, 7, 3, 3, 0.08),
+    "ex6": PaperTable4Row(5, 8, 8, 3, 1, 0.11),
+    "ex7": PaperTable4Row(2, 16, 10, 4, 3, 0.29),
+    "fetch": PaperTable4Row(9, 32, 24, 5, 4, 473.35),
+    "keyb": PaperTable4Row(7, 32, 21, 5, 4, 266.42),
+    "lion": PaperTable4Row(2, 4, 2, 2, 2, 0.00),
+    "lion9": PaperTable4Row(2, 8, 2, 3, 2, 0.01),
+    "log": PaperTable4Row(9, 32, 13, 5, 5, 639.51),
+    "mark1": PaperTable4Row(4, 16, 12, 4, 4, 2.82),
+    "mc": PaperTable4Row(3, 4, 4, 2, 1, 0.00),
+    "nucpwr": PaperTable4Row(13, 32, 20, 5, 5, 1887.44),
+    "opus": PaperTable4Row(5, 16, 7, 4, 1, 2.78),
+    "rie": PaperTable4Row(9, 32, 28, 5, 5, 3042.78),
+    "shiftreg": PaperTable4Row(1, 8, 8, 3, 3, 0.01),
+    "tav": PaperTable4Row(4, 4, 2, 2, 2, 0.07),
+    "train11": PaperTable4Row(2, 16, 2, 4, 3, 0.11),
+}
+
+PAPER_TABLE5: dict[str, PaperTable5Row] = {
+    "bbara": PaperTable5Row(256, 202, 434, 63.28, 0.10),
+    "bbsse": PaperTable5Row(2048, 1515, 2914, 62.70, 35.18),
+    "bbtas": PaperTable5Row(32, 28, 44, 75.00, 0.00),
+    "beecount": PaperTable5Row(64, 32, 153, 40.62, 0.04),
+    "cse": PaperTable5Row(2048, 1436, 3141, 59.96, 60.06),
+    "dk14": PaperTable5Row(64, 51, 82, 64.06, 0.03),
+    "dk15": PaperTable5Row(32, 11, 76, 15.62, 0.01),
+    "dk16": PaperTable5Row(128, 63, 317, 26.56, 0.22),
+    "dk17": PaperTable5Row(32, 20, 53, 43.75, 0.01),
+    "dk27": PaperTable5Row(16, 8, 40, 31.25, 0.01),
+    "dk512": PaperTable5Row(32, 25, 58, 59.38, 0.01),
+    "dvram": PaperTable5Row(16384, 12088, 33891, 61.71, 907.91),
+    "ex2": PaperTable5Row(128, 93, 256, 53.91, 0.12),
+    "ex3": PaperTable5Row(64, 41, 130, 54.69, 0.04),
+    "ex4": PaperTable5Row(512, 384, 1006, 55.86, 0.83),
+    "ex5": PaperTable5Row(32, 17, 73, 21.88, 0.01),
+    "ex6": PaperTable5Row(256, 76, 501, 15.23, 0.63),
+    "ex7": PaperTable5Row(64, 44, 125, 57.81, 0.04),
+    "fetch": PaperTable5Row(16384, 11347, 26100, 55.40, 1272.69),
+    "keyb": PaperTable5Row(4096, 3528, 5312, 82.35, 172.71),
+    "lion": PaperTable5Row(16, 9, 28, 25.00, 0.00),
+    "lion9": PaperTable5Row(32, 22, 56, 46.88, 0.01),
+    "log": PaperTable5Row(16384, 11520, 34560, 51.42, 533.81),
+    "mark1": PaperTable5Row(256, 109, 653, 35.16, 0.38),
+    "mc": PaperTable5Row(32, 9, 57, 25.00, 0.01),
+    "nucpwr": PaperTable5Row(262144, 172032, 446464, 44.53, 373906.81),
+    "opus": PaperTable5Row(512, 378, 698, 54.10, 0.23),
+    "rie": PaperTable5Row(16384, 11037, 31457, 57.50, 2311.50),
+    "shiftreg": PaperTable5Row(16, 13, 27, 75.00, 0.00),
+    "tav": PaperTable5Row(64, 33, 125, 25.00, 0.01),
+    "train11": PaperTable5Row(64, 53, 93, 65.62, 0.02),
+}
+
+PAPER_TABLE6: dict[str, PaperTable6Row] = {
+    "bbara": PaperTable6Row(29, 133, 138, 138, 100.00, 9, 85, 192, 192, 100.00),
+    "bbsse": PaperTable6Row(36, 765, 238, 238, 100.00, 15, 673, 656, 656, 100.00),
+    "bbtas": PaperTable6Row(12, 28, 63, 63, 100.00, 6, 22, 64, 64, 100.00),
+    "beecount": PaperTable6Row(5, 93, 112, 110, 98.21, 2, 83, 166, 166, 100.00),
+    "cse": PaperTable6Row(42, 959, 357, 355, 99.44, 20, 703, 1604, 1597, 99.56),
+    "dk14": PaperTable6Row(29, 60, 208, 207, 99.52, 13, 40, 362, 362, 100.00),
+    "dk15": PaperTable6Row(8, 69, 151, 151, 100.00, 2, 40, 140, 140, 100.00),
+    "dk16": PaperTable6Row(30, 266, 532, 530, 99.62, 8, 169, 1942, 1942, 100.00),
+    "dk17": PaperTable6Row(10, 43, 128, 128, 100.00, 2, 24, 120, 120, 100.00),
+    "dk27": PaperTable6Row(2, 22, 67, 67, 100.00, 1, 18, 50, 50, 100.00),
+    "dk512": PaperTable6Row(14, 41, 124, 124, 100.00, 2, 17, 136, 136, 100.00),
+    "dvram": PaperTable6Row(18, 696, 425, 425, 100.00, 19, 826, 2672, 2672, 100.00),
+    "ex2": PaperTable6Row(27, 148, 312, 312, 100.00, 6, 74, 802, 799, 99.63),
+    "ex3": PaperTable6Row(10, 82, 153, 153, 100.00, 1, 52, 242, 241, 99.59),
+    "ex4": PaperTable6Row(20, 248, 176, 176, 100.00, 9, 231, 288, 288, 100.00),
+    "ex5": PaperTable6Row(9, 42, 152, 138, 90.79, 6, 39, 210, 210, 100.00),
+    "ex6": PaperTable6Row(9, 324, 229, 229, 100.00, 6, 310, 660, 658, 99.70),
+    "ex7": PaperTable6Row(15, 85, 160, 159, 99.38, 5, 71, 238, 238, 100.00),
+    "fetch": PaperTable6Row(34, 863, 345, 342, 99.13, 44, 1628, 1564, 1564, 100.00),
+    "keyb": PaperTable6Row(62, 1161, 470, 470, 100.00, 30, 1084, 3194, 3177, 99.47),
+    "lion": PaperTable6Row(4, 21, 40, 40, 100.00, 4, 21, 18, 17, 94.44),
+    "lion9": PaperTable6Row(7, 32, 62, 59, 95.16, 3, 25, 52, 51, 98.08),
+    "log": PaperTable6Row(24, 1141, 313, 312, 99.68, 37, 1685, 1618, 1617, 99.94),
+    "mark1": PaperTable6Row(9, 400, 204, 203, 99.51, 4, 392, 532, 532, 100.00),
+    "mc": PaperTable6Row(3, 51, 73, 73, 100.00, 2, 50, 54, 54, 100.00),
+    "nucpwr": PaperTable6Row(39, 300, 447, 447, 100.00, 91, 752, 3238, 3237, 99.97),
+    "opus": PaperTable6Row(22, 97, 181, 181, 100.00, 14, 82, 452, 451, 99.78),
+    "rie": PaperTable6Row(42, 1145, 552, 548, 99.28, 58, 1876, 4214, 4213, 99.98),
+    "shiftreg": PaperTable6Row(2, 16, 28, 28, 100.00, 1, 15, 8, 8, 100.00),
+    "tav": PaperTable6Row(2, 62, 64, 64, 100.00, 2, 64, 86, 86, 100.00),
+    "train11": PaperTable6Row(11, 39, 104, 104, 100.00, 6, 32, 132, 132, 100.00),
+}
+
+PAPER_TABLE7: dict[str, PaperTable7Row] = {
+    "bbara": PaperTable7Row(1284, 1246, 97.04, 253, 19.70, 125, 10.03),
+    "bbsse": PaperTable7Row(10244, 8978, 87.64, 913, 8.91, 737, 8.21),
+    "bbtas": PaperTable7Row(131, 131, 100.00, 67, 51.15, 43, 32.82),
+    "beecount": PaperTable7Row(259, 252, 97.30, 111, 42.86, 92, 36.51),
+    "cse": PaperTable7Row(10244, 8889, 86.77, 1131, 11.04, 787, 8.85),
+    "dk14": PaperTable7Row(259, 238, 91.89, 150, 57.92, 82, 34.45),
+    "dk15": PaperTable7Row(98, 100, 102.04, 87, 88.78, 46, 46.00),
+    "dk16": PaperTable7Row(773, 637, 82.41, 421, 54.46, 214, 33.59),
+    "dk17": PaperTable7Row(131, 116, 88.55, 76, 58.02, 33, 28.45),
+    "dk27": PaperTable7Row(67, 67, 100.00, 31, 46.27, 24, 35.82),
+    "dk512": PaperTable7Row(164, 162, 98.78, 101, 61.59, 29, 17.90),
+    "dvram": PaperTable7Row(114694, 106425, 92.79, 810, 0.71, 946, 0.89),
+    "ex2": PaperTable7Row(773, 726, 93.92, 288, 37.26, 109, 15.01),
+    "ex3": PaperTable7Row(324, 298, 91.98, 126, 38.89, 60, 20.13),
+    "ex4": PaperTable7Row(2564, 2546, 99.30, 332, 12.95, 271, 10.64),
+    "ex5": PaperTable7Row(131, 127, 96.95, 72, 54.96, 60, 47.24),
+    "ex6": PaperTable7Row(1027, 732, 71.28, 354, 34.47, 331, 45.22),
+    "ex7": PaperTable7Row(324, 305, 94.14, 149, 45.99, 95, 31.15),
+    "fetch": PaperTable7Row(98309, 82840, 84.26, 1038, 1.06, 1853, 2.24),
+    "keyb": PaperTable7Row(24581, 22957, 93.39, 1476, 6.00, 1239, 5.40),
+    "lion": PaperTable7Row(50, 48, 96.00, 31, 62.00, 31, 64.58),
+    "lion9": PaperTable7Row(131, 125, 95.42, 56, 42.75, 37, 29.60),
+    "log": PaperTable7Row(98309, 92165, 93.75, 1266, 1.29, 1875, 2.03),
+    "mark1": PaperTable7Row(1284, 1093, 85.12, 440, 34.27, 412, 37.69),
+    "mc": PaperTable7Row(98, 77, 78.57, 59, 60.20, 56, 72.73),
+    "nucpwr": PaperTable7Row(1572869, 1306629, 83.07, 500, 0.03, 1212, 0.09),
+    "opus": PaperTable7Row(2564, 2214, 86.35, 189, 7.37, 142, 6.41),
+    "rie": PaperTable7Row(98309, 86647, 88.14, 1360, 1.38, 2171, 2.51),
+    "shiftreg": PaperTable7Row(67, 69, 102.99, 25, 37.31, 21, 30.43),
+    "tav": PaperTable7Row(194, 193, 99.48, 68, 35.05, 70, 36.27),
+    "train11": PaperTable7Row(324, 309, 95.37, 87, 26.85, 60, 19.42),
+}
+
+PAPER_TABLE8: dict[str, PaperTable8Row] = {
+    "bbtas": PaperTable8Row(32, 28, 44, 75.00, 131, 100.00),
+    "dk15": PaperTable8Row(32, 23, 46, 59.38, 94, 95.92),
+    "dk27": PaperTable8Row(16, 12, 26, 62.50, 65, 97.01),
+    "shiftreg": PaperTable8Row(16, 14, 22, 81.25, 67, 100.00),
+}
+
+#: Table 9: per-circuit sweep rows as (unique, m.len, tests, len, pct_len1,
+#: cycles, pct), keyed by circuit; the row order follows increasing L.
+PAPER_TABLE9: dict[str, tuple[tuple[int, int, int, int, float, int, float], ...]] = {
+    "dk512": (
+        (0, 1, 32, 32, 100.00, 164, 100.00),
+        (1, 2, 29, 39, 81.25, 159, 96.95),
+        (4, 3, 23, 60, 46.88, 156, 95.12),
+        (6, 4, 25, 58, 59.38, 162, 98.78),
+        (8, 5, 24, 67, 56.25, 167, 101.83),
+    ),
+    "ex4": (
+        (0, 1, 512, 512, 100.00, 2564, 100.00),
+        (5, 2, 400, 800, 56.25, 2404, 93.76),
+        (7, 3, 352, 992, 37.50, 2404, 93.76),
+        (9, 4, 384, 1006, 55.86, 2546, 99.30),
+        (11, 5, 384, 1101, 67.38, 2641, 103.00),
+        (13, 6, 384, 1197, 72.85, 2737, 106.75),
+        (16, 7, 384, 1197, 72.85, 2737, 106.75),
+    ),
+    "mark1": (
+        (2, 1, 222, 306, 75.00, 1198, 93.30),
+        (6, 2, 123, 610, 35.55, 1106, 86.14),
+        (11, 3, 111, 649, 35.55, 1097, 85.44),
+        (12, 4, 109, 653, 35.16, 1093, 85.12),
+    ),
+    "rie": (
+        (3, 1, 13961, 19888, 73.87, 89698, 91.24),
+        (17, 2, 12048, 24544, 59.35, 84789, 86.25),
+        (24, 3, 11036, 30434, 57.49, 85619, 87.09),
+        (25, 4, 11036, 30946, 57.50, 86131, 87.61),
+        (28, 5, 11036, 31458, 57.50, 86643, 88.13),
+        (29, 6, 11036, 31586, 57.50, 86771, 88.26),
+        (30, 7, 10052, 32640, 50.25, 87405, 88.91),
+        (32, 8, 10882, 35079, 61.16, 89494, 91.03),
+    ),
+}

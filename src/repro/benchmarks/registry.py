@@ -1,0 +1,189 @@
+"""Registry of the 31 benchmark circuits of the paper's Table 4.
+
+Each :class:`CircuitSpec` carries the dimensions printed in the paper —
+number of primary inputs (``pi``), completed state count (``states``, always
+``2**sv``), and number of state variables (``sv``) — plus the output width we
+assign to the synthetic stand-ins (the paper does not print output counts;
+see DESIGN.md §3).
+
+``lion`` and ``shiftreg`` load the exact machines from
+:mod:`repro.benchmarks.exact`; every other circuit loads a deterministic
+synthetic machine of identical dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import BenchmarkError
+from repro.benchmarks.exact import EXACT_BUILDERS
+from repro.benchmarks.synthetic import synthetic_machine
+from repro.fsm.kiss import KissMachine
+from repro.fsm.state_table import StateTable
+
+__all__ = [
+    "CircuitSpec",
+    "circuit_names",
+    "get_spec",
+    "list_specs",
+    "load_circuit",
+    "load_kiss_machine",
+    "TIERS",
+]
+
+#: Size tiers used to gate benchmark runtime (see DESIGN.md §6).
+TIERS = ("small", "medium", "large")
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """Static description of one benchmark circuit."""
+
+    name: str
+    n_inputs: int  #: the paper's ``pi`` column
+    n_states: int  #: the paper's ``states`` column (completed, = 2**sv)
+    n_state_variables: int  #: the paper's ``sv`` column
+    n_outputs: int  #: output width assigned to the machine
+    n_core_states: int  #: behaviourally rich states before completion
+    exact: bool  #: True when the machine is embedded exactly
+    tier: str  #: "small" | "medium" | "large"
+
+    @property
+    def n_transitions(self) -> int:
+        """``N_ST * N_PIC`` — the paper's Table 5 ``trans`` column."""
+        return self.n_states * (1 << self.n_inputs)
+
+    @property
+    def n_fill_states(self) -> int:
+        """Unused scan codes completed into identical reset-bound states."""
+        return self.n_states - self.n_core_states
+
+
+def _spec(
+    name: str,
+    pi: int,
+    states: int,
+    sv: int,
+    po: int,
+    core: int,
+    exact: bool = False,
+) -> CircuitSpec:
+    transitions = states * (1 << pi)
+    if transitions <= 128:
+        tier = "small"
+    elif transitions <= 4096:
+        tier = "medium"
+    else:
+        tier = "large"
+    return CircuitSpec(name, pi, states, sv, po, core, exact, tier)
+
+
+# Dimensions (pi, states, sv) are the paper's Table 4.  Output widths and
+# core state counts are our assignment for the synthetic stand-ins — core
+# counts follow the published MCNC machine sizes where known and otherwise
+# sit a little above the paper's "unique" column (a state with a UIO is
+# necessarily a core state).  See DESIGN.md §3.
+_SPECS: dict[str, CircuitSpec] = {
+    spec.name: spec
+    for spec in (
+        _spec("bbara", 4, 16, 4, 2, core=10),
+        _spec("bbsse", 7, 16, 4, 7, core=16),
+        _spec("bbtas", 2, 8, 3, 2, core=6),
+        _spec("beecount", 3, 8, 3, 4, core=7),
+        _spec("cse", 7, 16, 4, 7, core=16),
+        _spec("dk14", 3, 8, 3, 5, core=7),
+        _spec("dk15", 3, 4, 2, 5, core=4),
+        _spec("dk16", 2, 32, 5, 3, core=27),
+        _spec("dk17", 2, 8, 3, 3, core=8),
+        _spec("dk27", 1, 8, 3, 2, core=7),
+        _spec("dk512", 1, 16, 4, 3, core=15),
+        _spec("dvram", 8, 64, 6, 8, core=50),
+        _spec("ex2", 2, 32, 5, 2, core=19),
+        _spec("ex3", 2, 16, 4, 2, core=10),
+        _spec("ex4", 5, 16, 4, 9, core=14),
+        _spec("ex5", 2, 8, 3, 2, core=8),
+        _spec("ex6", 5, 8, 3, 8, core=8),
+        _spec("ex7", 2, 16, 4, 2, core=10),
+        _spec("fetch", 9, 32, 5, 8, core=26),
+        _spec("keyb", 7, 32, 5, 2, core=22),
+        _spec("lion", 2, 4, 2, 1, core=4, exact=True),
+        _spec("lion9", 2, 8, 3, 1, core=7),
+        _spec("log", 9, 32, 5, 4, core=17),
+        _spec("mark1", 4, 16, 4, 16, core=15),
+        _spec("mc", 3, 4, 2, 5, core=4),
+        _spec("nucpwr", 13, 32, 5, 8, core=29),
+        _spec("opus", 5, 16, 4, 6, core=10),
+        _spec("rie", 9, 32, 5, 6, core=29),
+        _spec("shiftreg", 1, 8, 3, 1, core=8, exact=True),
+        _spec("tav", 4, 4, 2, 4, core=4),
+        _spec("train11", 2, 16, 4, 1, core=11),
+    )
+}
+
+
+def circuit_names(tier: str | None = None) -> tuple[str, ...]:
+    """All benchmark names, optionally restricted to one size tier."""
+    if tier is not None and tier not in TIERS:
+        raise BenchmarkError(f"unknown tier {tier!r}; expected one of {TIERS}")
+    return tuple(
+        name for name, spec in _SPECS.items() if tier is None or spec.tier == tier
+    )
+
+
+def get_spec(name: str) -> CircuitSpec:
+    """Spec of one benchmark circuit."""
+    try:
+        return _SPECS[name]
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown circuit {name!r}; known: {', '.join(sorted(_SPECS))}"
+        ) from None
+
+
+def list_specs(tier: str | None = None) -> tuple[CircuitSpec, ...]:
+    """Specs of all circuits, optionally restricted to one tier."""
+    return tuple(get_spec(name) for name in circuit_names(tier))
+
+
+def _cubes_per_state(spec: CircuitSpec) -> int:
+    """Cube budget per state for the synthetic generator.
+
+    Grows slowly with the input width so machines with many inputs keep a
+    realistic (small) two-level implementation instead of one product term
+    per minterm.
+    """
+    return min(1 << spec.n_inputs, max(2, spec.n_inputs + 2))
+
+
+@lru_cache(maxsize=None)
+def load_kiss_machine(name: str) -> KissMachine:
+    """Cube-level machine for ``name`` (exact or synthetic stand-in)."""
+    spec = get_spec(name)
+    if spec.exact:
+        return EXACT_BUILDERS[name]()
+    return synthetic_machine(
+        name,
+        spec.n_inputs,
+        spec.n_states,
+        spec.n_core_states,
+        spec.n_outputs,
+        cubes_per_state=_cubes_per_state(spec),
+    )
+
+
+@lru_cache(maxsize=None)
+def load_circuit(name: str) -> StateTable:
+    """Dense state table for ``name``; dimensions match the paper's Table 4."""
+    table = load_kiss_machine(name).to_state_table()
+    spec = get_spec(name)
+    if table.n_states != spec.n_states:
+        raise BenchmarkError(
+            f"{name}: built {table.n_states} states, spec says {spec.n_states}"
+        )
+    if table.n_state_variables != spec.n_state_variables:
+        raise BenchmarkError(
+            f"{name}: {table.n_state_variables} state variables, "
+            f"spec says {spec.n_state_variables}"
+        )
+    return table

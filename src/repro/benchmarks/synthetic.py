@@ -1,0 +1,59 @@
+"""Synthetic stand-ins for the MCNC benchmarks (DESIGN.md §3).
+
+Each stand-in reproduces the structure that drives the paper's numbers:
+
+* a *core* of ``n_core_states`` behaviourally rich states built from random
+  input cubes with zero-biased outputs (real machines assert their outputs
+  sparsely, which is why some of their states have no UIO), and
+* *fill* states completing the count to ``2**sv`` — the unused codes of the
+  scanned implementation.  All fill states behave identically (every input
+  returns to the reset state with all-zero outputs), so whenever there are
+  two or more of them they are pairwise equivalent and provably have no
+  unique input-output sequence, exactly like the completed MCNC circuits in
+  the paper's Table 4.
+
+Everything is deterministic in the circuit name.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BenchmarkError
+from repro.fsm.builders import random_cube_machine
+from repro.fsm.kiss import KissMachine, KissRow
+
+__all__ = ["synthetic_machine", "OUTPUT_ZERO_BIAS"]
+
+#: Probability that a generated cube's outputs are all zero.
+OUTPUT_ZERO_BIAS = 0.45
+
+
+def synthetic_machine(
+    name: str,
+    n_inputs: int,
+    n_states: int,
+    n_core_states: int,
+    n_outputs: int,
+    cubes_per_state: int,
+) -> KissMachine:
+    """Build the stand-in machine for one registry entry."""
+    if not 1 <= n_core_states <= n_states:
+        raise BenchmarkError(
+            f"{name}: core state count {n_core_states} out of range"
+        )
+    machine = random_cube_machine(
+        n_inputs,
+        n_core_states,
+        n_outputs,
+        seed=name,
+        cubes_per_state=cubes_per_state,
+        name=name,
+        output_zero_bias=OUTPUT_ZERO_BIAS,
+    )
+    zero_output = "0" * n_outputs
+    any_input = "-" * n_inputs
+    reset = machine.state_names()[0]
+    for index in range(n_core_states, n_states):
+        machine.rows.append(
+            KissRow(any_input, f"fill{index}", reset, zero_output)
+        )
+    return machine

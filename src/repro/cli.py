@@ -1,0 +1,336 @@
+"""Command-line interface: ``python -m repro`` / ``repro-fsatpg``.
+
+Subcommands
+-----------
+``info``       — registry and machine statistics for one circuit
+``generate``   — run the test generation procedure and print the tests
+``export``     — generate and write the tests as JSON or tester vectors
+``nonscan``    — non-scan checking sequence and its coverage gap
+``delay``      — transition-delay coverage, chained tests vs baseline
+``table2..9``  — regenerate the corresponding paper table
+``all``        — regenerate every table over a tier
+``claims``     — run the reproduction certificate (exit 1 on any failure)
+
+Examples
+--------
+::
+
+    repro-fsatpg generate lion
+    repro-fsatpg table5 --tier medium
+    repro-fsatpg table9 --circuits dk512,mark1
+    repro-fsatpg all --tier small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.benchmarks import circuit_names, get_spec, load_circuit
+from repro.core.config import GeneratorConfig
+from repro.core.coverage import verify_test_set
+from repro.core.generator import generate_tests
+from repro.harness import experiments
+from repro.harness.experiments import StudyOptions, render
+
+__all__ = ["main", "build_parser"]
+
+
+def _circuit_list(args: argparse.Namespace) -> tuple[str, ...]:
+    if getattr(args, "circuits", None):
+        return tuple(name.strip() for name in args.circuits.split(",") if name.strip())
+    tier = getattr(args, "tier", None)
+    if tier in (None, "all"):
+        return circuit_names()
+    if tier == "default":
+        return circuit_names("small") + circuit_names("medium")
+    return circuit_names(tier)
+
+
+def _config_from(args: argparse.Namespace) -> GeneratorConfig:
+    return GeneratorConfig(
+        max_uio_length=getattr(args, "uio_length", None),
+        max_transfer_length=getattr(args, "transfer_length", 1),
+        scan_ratio=getattr(args, "scan_ratio", 1),
+    )
+
+
+def _options_from(args: argparse.Namespace) -> StudyOptions:
+    return StudyOptions(
+        config=_config_from(args),
+        max_fanin=getattr(args, "max_fanin", 4),
+        bridging_pair_limit=getattr(args, "bridging_limit", 500),
+    )
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    spec = get_spec(args.circuit)
+    table = load_circuit(args.circuit)
+    print(f"circuit           {spec.name}")
+    print(f"source            {'exact' if spec.exact else 'synthetic stand-in'}")
+    print(f"tier              {spec.tier}")
+    print(f"primary inputs    {spec.n_inputs}")
+    print(f"primary outputs   {spec.n_outputs}")
+    print(f"states            {spec.n_states} ({spec.n_core_states} core + "
+          f"{spec.n_fill_states} fill)")
+    print(f"state variables   {spec.n_state_variables}")
+    print(f"transitions       {table.n_transitions}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    table = load_circuit(args.circuit)
+    result = generate_tests(table, _config_from(args))
+    if args.verify:
+        report = verify_test_set(table, result.test_set)
+        status = "complete" if report.is_complete else "INCOMPLETE"
+        print(f"# strict coverage: {status} "
+              f"({len(report.verified)}/{report.n_transitions} verified)")
+    print(f"# {result.n_tests} tests, total length {result.total_length}, "
+          f"{result.pct_length_one:.2f}% of transitions in length-1 tests")
+    print(f"# {result.clock_cycles()} clock cycles "
+          f"({result.cycles_pct_of_baseline():.2f}% of per-transition baseline)")
+    if args.show_tests:
+        for test in result.test_set:
+            print(test)
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.core.export import test_set_to_json, test_set_to_vectors
+
+    table = load_circuit(args.circuit)
+    result = generate_tests(table, _config_from(args))
+    if args.format == "json":
+        text = test_set_to_json(result.test_set)
+    else:
+        text = test_set_to_vectors(result.test_set, table)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {result.n_tests} tests to {args.output}")
+    return 0
+
+
+def _cmd_nonscan(args: argparse.Namespace) -> int:
+    from repro.core.coverage import verify_test_set as _verify
+    from repro.nonscan import generate_nonscan_sequence
+
+    table = load_circuit(args.circuit)
+    nonscan = generate_nonscan_sequence(table, _config_from(args))
+    scan = generate_tests(table, _config_from(args))
+    report = _verify(table, scan.test_set)
+    sync = "synchronizing prefix" if nonscan.used_synchronizing else "assumed reset"
+    print(f"non-scan checking sequence for {args.circuit} ({sync}):")
+    print(f"  length            {nonscan.length}")
+    print(f"  exercised         {nonscan.exercised_pct:.2f}% of transitions")
+    print(f"  verified          {nonscan.verified_pct:.2f}%")
+    print(f"  unreachable       {len(nonscan.unreachable)} transitions")
+    print(f"  unverifiable      {len(nonscan.exercised_only)} transitions")
+    print(f"scan-based tests:   {scan.n_tests} tests, "
+          f"{100.0 * report.verified_fraction:.2f}% verified")
+    return 0
+
+
+def _cmd_delay(args: argparse.Namespace) -> int:
+    from repro.benchmarks import load_kiss_machine
+    from repro.core.baseline import per_transition_tests
+    from repro.gatelevel.delay import simulate_delay_faults
+    from repro.gatelevel.scan import ScanCircuit
+    from repro.gatelevel.synthesis import SynthesisOptions
+
+    table = load_circuit(args.circuit)
+    circuit = ScanCircuit.from_machine(
+        load_kiss_machine(args.circuit),
+        SynthesisOptions(max_fanin=args.max_fanin),
+    )
+    chained = simulate_delay_faults(
+        circuit, table, generate_tests(table, _config_from(args)).test_set
+    )
+    baseline = simulate_delay_faults(circuit, table, per_transition_tests(table))
+    print(f"transition-delay faults on {args.circuit} "
+          f"({chained.n_faults} faults, fanin-{args.max_fanin} netlist):")
+    print(f"  per-transition baseline : {baseline.n_at_speed_pairs:5d} at-speed "
+          f"pairs, {baseline.coverage_pct:6.2f}% coverage")
+    print(f"  chained functional tests: {chained.n_at_speed_pairs:5d} at-speed "
+          f"pairs, {chained.coverage_pct:6.2f}% coverage")
+    return 0
+
+
+def _cmd_claims(args: argparse.Namespace) -> int:
+    from repro.harness.claims import render_claims, verify_claims
+
+    circuits = _circuit_list(args) if args.circuits or args.tier != "default" \
+        else None
+    results = verify_claims(circuits, _options_from(args))
+    print(render_claims(results))
+    return 0 if all(result.passed for result in results) else 1
+
+
+def _table_command(number: int):
+    def run(args: argparse.Namespace) -> int:
+        options = _options_from(args)
+        if number in (2, 3):
+            function = getattr(experiments, f"table{number}")
+            rows = function(args.circuit, options)
+        elif number == 8:
+            rows = experiments.table8(
+                _circuit_list(args) if args.circuits else None, options
+            )
+        elif number == 9:
+            rows = experiments.table9(
+                _circuit_list(args) if args.circuits else None, options
+            )
+        else:
+            function = getattr(experiments, f"table{number}")
+            rows = function(_circuit_list(args), options)
+        print(render(number, rows, csv=getattr(args, "csv", False)))
+        return 0
+
+    return run
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    options = _options_from(args)
+    circuits = _circuit_list(args)
+    print(render(2, experiments.table2("lion", options)))
+    print()
+    print(render(3, experiments.table3("lion", options)))
+    print()
+    for number in (4, 5, 6, 7):
+        function = getattr(experiments, f"table{number}")
+        print(render(number, function(circuits, options)))
+        print()
+    print(render(8, experiments.table8(None, options)))
+    print()
+    table9_circuits = [c for c in experiments.TABLE9_CIRCUITS if c in circuits]
+    if table9_circuits:
+        print(render(9, experiments.table9(table9_circuits, options)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fsatpg",
+        description="Functional test generation for full scan circuits "
+        "(Pomeranz & Reddy, DATE 2000).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="show one circuit's parameters")
+    info.add_argument("circuit")
+    info.set_defaults(func=_cmd_info)
+
+    gen = sub.add_parser("generate", help="generate functional scan tests")
+    gen.add_argument("circuit")
+    gen.add_argument("--uio-length", type=int, default=None,
+                     help="bound L on UIO length (default: N_SV)")
+    gen.add_argument("--transfer-length", type=int, default=1,
+                     help="bound T on transfer length (0 disables)")
+    gen.add_argument("--scan-ratio", type=int, default=1,
+                     help="scan clock period in functional clock periods")
+    gen.add_argument("--no-tests", dest="show_tests", action="store_false",
+                     help="print statistics only")
+    gen.add_argument("--verify", action="store_true",
+                     help="run the strict coverage checker")
+    gen.set_defaults(func=_cmd_generate)
+
+    export = sub.add_parser("export", help="write generated tests to a file")
+    export.add_argument("circuit")
+    export.add_argument("--format", choices=("json", "vectors"), default="json")
+    export.add_argument("-o", "--output", default="-",
+                        help="output path ('-' prints to stdout)")
+    export.add_argument("--uio-length", type=int, default=None)
+    export.add_argument("--transfer-length", type=int, default=1)
+    export.add_argument("--scan-ratio", type=int, default=1)
+    export.set_defaults(func=_cmd_export)
+
+    nonscan = sub.add_parser(
+        "nonscan", help="non-scan checking sequence vs scan coverage"
+    )
+    nonscan.add_argument("circuit")
+    nonscan.add_argument("--uio-length", type=int, default=None)
+    nonscan.add_argument("--transfer-length", type=int, default=1)
+    nonscan.add_argument("--scan-ratio", type=int, default=1)
+    nonscan.set_defaults(func=_cmd_nonscan)
+
+    delay = sub.add_parser(
+        "delay", help="transition-delay coverage, chained vs baseline"
+    )
+    delay.add_argument("circuit")
+    delay.add_argument("--max-fanin", type=int, default=4)
+    delay.add_argument("--uio-length", type=int, default=None)
+    delay.add_argument("--transfer-length", type=int, default=1)
+    delay.add_argument("--scan-ratio", type=int, default=1)
+    delay.set_defaults(func=_cmd_delay)
+
+    def add_common(p: argparse.ArgumentParser, with_circuit_list: bool) -> None:
+        if with_circuit_list:
+            p.add_argument("--circuits", default="",
+                           help="comma-separated circuit names")
+            p.add_argument("--tier", default="default",
+                           choices=("small", "medium", "large", "all", "default"),
+                           help="circuit tier (default: small+medium)")
+        p.add_argument("--uio-length", type=int, default=None)
+        p.add_argument("--transfer-length", type=int, default=1)
+        p.add_argument("--scan-ratio", type=int, default=1)
+        p.add_argument("--max-fanin", type=int, default=4,
+                       help="gate fanin bound for synthesis (0 = unbounded)")
+        p.add_argument("--bridging-limit", type=int, default=500,
+                       help="max bridging line pairs (0 = unlimited)")
+        p.add_argument("--csv", action="store_true",
+                       help="emit CSV instead of the fixed-width table")
+
+    for number in range(2, 10):
+        help_text = {
+            2: "UIO sequences of one circuit",
+            3: "stuck-at simulation rows for one circuit",
+            4: "circuit parameters and UIO statistics",
+            5: "functional test generation statistics",
+            6: "gate-level stuck-at and bridging coverage",
+            7: "clock cycles for test application",
+            8: "test generation without transfer sequences",
+            9: "sweep of the UIO length bound",
+        }[number]
+        p = sub.add_parser(f"table{number}", help=help_text)
+        if number in (2, 3):
+            p.add_argument("circuit", nargs="?", default="lion")
+            add_common(p, with_circuit_list=False)
+        else:
+            add_common(p, with_circuit_list=True)
+        p.set_defaults(func=_table_command(number))
+
+    everything = sub.add_parser("all", help="regenerate every table")
+    add_common(everything, with_circuit_list=True)
+    everything.set_defaults(func=_cmd_all)
+
+    claims = sub.add_parser(
+        "claims", help="verify every headline claim (reproduction certificate)"
+    )
+    add_common(claims, with_circuit_list=True)
+    claims.set_defaults(func=_cmd_claims)
+    return parser
+
+
+def _normalize(args: argparse.Namespace) -> None:
+    if getattr(args, "max_fanin", None) == 0:
+        args.max_fanin = None
+    if getattr(args, "bridging_limit", None) == 0:
+        args.bridging_limit = None
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    _normalize(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # output piped into e.g. `head`: not an error
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

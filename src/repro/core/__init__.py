@@ -1,0 +1,63 @@
+"""The paper's primary contribution: functional test generation for full scan.
+
+:mod:`repro.core.generator` implements the test generation procedure of
+Section 2 — chaining state-transitions into multi-transition scan tests using
+UIO sequences and transfer sequences; :mod:`repro.core.baseline` is the
+one-test-per-transition comparison point; :mod:`repro.core.coverage` proves
+that every transition is exercised with verified endpoints;
+:mod:`repro.core.compaction` selects effective tests (the paper's Tables 3
+and 6) and implements reference-[7]-style test combining;
+:mod:`repro.core.faultmodel` simulates explicit single state-transition
+faults.
+"""
+
+from repro.core.testset import ScanTest, Segment, SegmentKind, TestSet
+from repro.core.config import GeneratorConfig
+from repro.core.generator import GenerationResult, generate_tests
+from repro.core.baseline import per_transition_tests
+from repro.core.coverage import CoverageReport, verify_test_set
+from repro.core.compaction import (
+    EffectiveSelection,
+    combine_tests,
+    select_effective_tests,
+)
+from repro.core.export import (
+    test_set_from_json,
+    test_set_to_json,
+    test_set_to_vectors,
+)
+from repro.core.schedule import ScheduleEvent, ScheduleEventKind, TestSchedule
+from repro.core.faultmodel import (
+    StateTransitionFault,
+    apply_fault,
+    enumerate_transition_faults,
+    sample_faults,
+    simulate_functional_faults,
+)
+
+__all__ = [
+    "ScanTest",
+    "Segment",
+    "SegmentKind",
+    "TestSet",
+    "GeneratorConfig",
+    "GenerationResult",
+    "generate_tests",
+    "per_transition_tests",
+    "CoverageReport",
+    "verify_test_set",
+    "EffectiveSelection",
+    "combine_tests",
+    "select_effective_tests",
+    "test_set_from_json",
+    "test_set_to_json",
+    "test_set_to_vectors",
+    "ScheduleEvent",
+    "ScheduleEventKind",
+    "TestSchedule",
+    "StateTransitionFault",
+    "apply_fault",
+    "enumerate_transition_faults",
+    "sample_faults",
+    "simulate_functional_faults",
+]

@@ -1,0 +1,75 @@
+"""Configuration of the test generation procedure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GenerationError
+from repro.uio.search import DEFAULT_NODE_BUDGET
+
+__all__ = ["GeneratorConfig"]
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the paper's procedure.
+
+    Parameters
+    ----------
+    max_uio_length:
+        The bound ``L`` on unique input-output sequence lengths.  ``None``
+        (the default) means ``L = N_SV``, the paper's main setting: a UIO
+        then never takes longer to apply than a scan-out/scan-in pair.
+        Table 9 sweeps this bound.
+    max_transfer_length:
+        The bound ``T`` on transfer sequence lengths.  The paper's main
+        experiments use ``T = 1``; ``T = 0`` disables transfer sequences
+        (Table 8).
+    postpone_no_uio_starts:
+        The paper's postpone rule: do not *start* a test with a transition
+        whose next state has no UIO during the first pass, because that
+        forces a length-1 test; a second pass picks the leftovers up.
+    uio_node_budget:
+        Node-expansion budget per UIO search (the search is exponential in
+        the worst case).  States whose search is cut off are treated as
+        having no UIO.
+    credit_incidental:
+        Extension (off by default, matching the paper's accounting): also
+        mark transitions traversed inside UIO and transfer segments as
+        tested.  This is *optimistic* — next-state errors on those
+        transitions are only probabilistically observed — so the strict
+        coverage checker reports such credits separately.
+    use_partial_uio:
+        Extension (off by default): for next states without a full UIO but
+        with a complete partial UIO set, keep chaining by applying one
+        pending sequence of the set per visit; the transition counts as
+        tested once every sequence of the set has followed it somewhere in
+        the test set.
+    scan_ratio:
+        The scan-to-functional clock period ratio ``M``; only affects the
+        reported clock cycles, never the generated tests.
+    """
+
+    max_uio_length: int | None = None
+    max_transfer_length: int = 1
+    postpone_no_uio_starts: bool = True
+    uio_node_budget: int = DEFAULT_NODE_BUDGET
+    credit_incidental: bool = False
+    use_partial_uio: bool = False
+    scan_ratio: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_uio_length is not None and self.max_uio_length < 0:
+            raise GenerationError("max_uio_length must be >= 0")
+        if self.max_transfer_length < 0:
+            raise GenerationError("max_transfer_length must be >= 0")
+        if self.uio_node_budget < 1:
+            raise GenerationError("uio_node_budget must be >= 1")
+        if self.scan_ratio < 1:
+            raise GenerationError("scan_ratio must be >= 1")
+
+    def resolved_uio_length(self, n_state_variables: int) -> int:
+        """The effective ``L`` for a machine with ``n_state_variables``."""
+        if self.max_uio_length is None:
+            return n_state_variables
+        return self.max_uio_length

@@ -1,0 +1,181 @@
+"""Explicit single state-transition faults and their functional simulation.
+
+Under the paper's fault model, a single state-transition may produce a
+faulty next state and/or a faulty output combination.  The test generation
+procedure never needs the faulty values (any deviation is caught), but the
+paper also notes a caveat: a fault can corrupt the *UIO sequences* a test
+relies on, so covering every transition does not formally guarantee
+detecting every state-transition fault — "this is expected to affect the
+coverage of single state-transition faults only rarely".  This module makes
+that claim measurable: it enumerates (or samples) explicit faulty machines
+and simulates the generated tests against them.
+
+A scan test detects a fault when the faulty machine's primary output
+sequence differs from the fault-free one at any step, or its final state
+(scanned out and compared) differs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.testset import TestSet
+from repro.errors import FaultSimulationError
+from repro.fsm.state_table import StateTable
+
+__all__ = [
+    "StateTransitionFault",
+    "apply_fault",
+    "enumerate_transition_faults",
+    "sample_faults",
+    "simulate_functional_faults",
+    "FunctionalFaultResult",
+]
+
+
+@dataclass(frozen=True)
+class StateTransitionFault:
+    """One transition's entry replaced by ``(faulty_next, faulty_output)``."""
+
+    state: int
+    input: int
+    faulty_next: int
+    faulty_output: int
+
+    def is_noop_for(self, table: StateTable) -> bool:
+        """True when the "fault" equals the fault-free entry."""
+        nxt, out = table.step(self.state, self.input)
+        return nxt == self.faulty_next and out == self.faulty_output
+
+
+def apply_fault(table: StateTable, fault: StateTransitionFault) -> StateTable:
+    """The faulty machine: ``table`` with one table entry rewritten."""
+    if not 0 <= fault.faulty_next < table.n_states:
+        raise FaultSimulationError(f"faulty next state {fault.faulty_next} invalid")
+    if not 0 <= fault.faulty_output < (1 << max(table.n_outputs, 1)):
+        raise FaultSimulationError(f"faulty output {fault.faulty_output} invalid")
+    next_state = np.array(table.next_state, copy=True)
+    output = np.array(table.output, copy=True)
+    next_state[fault.state, fault.input] = fault.faulty_next
+    output[fault.state, fault.input] = fault.faulty_output
+    return StateTable(
+        next_state,
+        output,
+        table.n_inputs,
+        table.n_outputs,
+        table.state_names,
+        f"{table.name}+fault",
+    )
+
+
+def enumerate_transition_faults(
+    table: StateTable, state: int, combo: int
+) -> Iterator[StateTransitionFault]:
+    """All non-trivial faults of one transition.
+
+    There are ``N_ST * 2**N_PO - 1`` of them per transition (every wrong
+    combination of next state and output).
+    """
+    good_next, good_out = table.step(state, combo)
+    for faulty_next in range(table.n_states):
+        for faulty_out in range(1 << table.n_outputs):
+            if faulty_next == good_next and faulty_out == good_out:
+                continue
+            yield StateTransitionFault(state, combo, faulty_next, faulty_out)
+
+
+def sample_faults(
+    table: StateTable,
+    n_samples: int,
+    seed: int | str = 0,
+) -> list[StateTransitionFault]:
+    """A reproducible random sample of non-trivial state-transition faults."""
+    if n_samples < 0:
+        raise FaultSimulationError("n_samples must be non-negative")
+    rng = random.Random(f"repro-st-faults:{seed}")
+    faults: list[StateTransitionFault] = []
+    seen: set[StateTransitionFault] = set()
+    attempts = 0
+    limit = 50 * max(1, n_samples)
+    while len(faults) < n_samples and attempts < limit:
+        attempts += 1
+        state = rng.randrange(table.n_states)
+        combo = rng.randrange(table.n_input_combinations)
+        faulty_next = rng.randrange(table.n_states)
+        faulty_out = rng.randrange(1 << table.n_outputs) if table.n_outputs else 0
+        fault = StateTransitionFault(state, combo, faulty_next, faulty_out)
+        if fault.is_noop_for(table) or fault in seen:
+            continue
+        seen.add(fault)
+        faults.append(fault)
+    return faults
+
+
+@dataclass
+class FunctionalFaultResult:
+    """Detection outcome of simulating explicit state-transition faults."""
+
+    detected: frozenset[StateTransitionFault]
+    undetected: frozenset[StateTransitionFault]
+
+    @property
+    def n_faults(self) -> int:
+        return len(self.detected) + len(self.undetected)
+
+    @property
+    def coverage_pct(self) -> float:
+        if self.n_faults == 0:
+            return 100.0
+        return 100.0 * len(self.detected) / self.n_faults
+
+
+def _test_detects(
+    table: StateTable,
+    faulty: StateTable,
+    initial_state: int,
+    inputs: Sequence[int],
+) -> bool:
+    good_state = initial_state
+    bad_state = initial_state  # scan-in forces the state in both machines
+    for combo in inputs:
+        good_next, good_out = table.step(good_state, combo)
+        bad_next, bad_out = faulty.step(bad_state, combo)
+        if good_out != bad_out:
+            return True  # observed at the primary outputs
+        good_state, bad_state = good_next, bad_next
+    return good_state != bad_state  # observed by the scan-out comparison
+
+
+def simulate_functional_faults(
+    table: StateTable,
+    test_set: TestSet,
+    faults: Iterable[StateTransitionFault],
+) -> FunctionalFaultResult:
+    """Which of ``faults`` does ``test_set`` detect?
+
+    Straightforward serial simulation with fault dropping; intended for
+    validation studies and the functional-fault example, not for the
+    gate-level tables (those use the bit-parallel simulator in
+    :mod:`repro.gatelevel.fault_sim`).
+    """
+    remaining = list(dict.fromkeys(faults))
+    detected: set[StateTransitionFault] = set()
+    for fault in remaining:
+        if fault.is_noop_for(table):
+            raise FaultSimulationError(f"fault {fault} does not change the machine")
+    for test in test_set.by_decreasing_length():
+        if not remaining:
+            break
+        still: list[StateTransitionFault] = []
+        for fault in remaining:
+            faulty = apply_fault(table, fault)
+            if _test_detects(table, faulty, test.initial_state, test.inputs):
+                detected.add(fault)
+            else:
+                still.append(fault)
+        remaining = still
+    return FunctionalFaultResult(frozenset(detected), frozenset(remaining))

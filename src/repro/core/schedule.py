@@ -1,0 +1,166 @@
+"""Cycle-accurate test application schedule.
+
+The paper's Table 7 counts ``M * N_SV * (N_T + 1) + ΣN_PIC`` clock cycles
+for ``N_T`` tests.  The ``N_T + 1`` (rather than ``2 * N_T``) encodes an
+implementation detail of scan testing: while the final state of test ``i``
+shifts out, the initial state of test ``i+1`` shifts in through the same
+chain, so interior scan operations are shared.  This module builds the
+actual event timeline — shift-in, apply, overlapped shift, shift-out — and
+its total duration *is* the formula, which the test suite asserts for every
+generated test set.  It also emits the serialized scan-chain bit streams a
+tester would drive, making the library's output directly consumable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.testset import TestSet
+from repro.errors import GenerationError
+
+__all__ = ["ScheduleEventKind", "ScheduleEvent", "TestSchedule"]
+
+
+class ScheduleEventKind(enum.Enum):
+    SCAN_IN = "scan-in"  #: initial shift filling the chain before test 0
+    APPLY = "apply"  #: one functional clock applying an input combination
+    SCAN_TURNAROUND = "scan"  #: overlapped shift-out/shift-in between tests
+    SCAN_OUT = "scan-out"  #: final shift draining the chain after the last test
+
+
+@dataclass(frozen=True)
+class ScheduleEvent:
+    """One timeline entry.
+
+    ``duration`` is in *scan-clock* cycles for scan events and functional
+    cycles for APPLY events; ``start``/``end`` are in functional-clock
+    cycles with the scan ratio already applied.
+    """
+
+    kind: ScheduleEventKind
+    start: int
+    duration: int
+    test_index: int | None = None
+    #: bits shifted in (scan events), MSB first, or the applied combination
+    payload: tuple[int, ...] = ()
+
+    @property
+    def end(self) -> int:
+        return self.start + self.duration
+
+
+class TestSchedule:
+    """The full tester timeline for a test set."""
+
+    def __init__(self, events: list[ScheduleEvent], scan_ratio: int) -> None:
+        self.events = events
+        self.scan_ratio = scan_ratio
+
+    @classmethod
+    def from_test_set(cls, test_set: TestSet, scan_ratio: int = 1) -> "TestSchedule":
+        """Build the overlapped-scan timeline for ``test_set``."""
+        if scan_ratio < 1:
+            raise GenerationError("scan_ratio must be >= 1")
+        sv = test_set.n_state_variables
+        events: list[ScheduleEvent] = []
+        clock = 0
+
+        def state_bits(state: int) -> tuple[int, ...]:
+            return tuple((state >> (sv - 1 - j)) & 1 for j in range(sv))
+
+        tests = test_set.tests
+        for index, test in enumerate(tests):
+            if index == 0:
+                events.append(
+                    ScheduleEvent(
+                        ScheduleEventKind.SCAN_IN,
+                        clock,
+                        sv * scan_ratio,
+                        index,
+                        state_bits(test.initial_state),
+                    )
+                )
+            else:
+                # Shift the previous final state out while this test's
+                # initial state shifts in: one shared scan operation.
+                previous = tests[index - 1]
+                events.append(
+                    ScheduleEvent(
+                        ScheduleEventKind.SCAN_TURNAROUND,
+                        clock,
+                        sv * scan_ratio,
+                        index,
+                        state_bits(previous.final_state)
+                        + state_bits(test.initial_state),
+                    )
+                )
+            clock = events[-1].end
+            for combo in test.inputs:
+                events.append(
+                    ScheduleEvent(
+                        ScheduleEventKind.APPLY, clock, 1, index, (combo,)
+                    )
+                )
+                clock += 1
+        if tests:
+            events.append(
+                ScheduleEvent(
+                    ScheduleEventKind.SCAN_OUT,
+                    clock,
+                    sv * scan_ratio,
+                    len(tests) - 1,
+                    state_bits(tests[-1].final_state),
+                )
+            )
+        return cls(events, scan_ratio)
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def total_cycles(self) -> int:
+        """End of the last event — equals the paper's Table 7 formula."""
+        return self.events[-1].end if self.events else 0
+
+    @property
+    def n_scan_operations(self) -> int:
+        """Scan operations on the timeline (``N_T + 1`` for ``N_T`` tests)."""
+        return sum(
+            1
+            for event in self.events
+            if event.kind is not ScheduleEventKind.APPLY
+        )
+
+    @property
+    def functional_cycles(self) -> int:
+        return sum(
+            event.duration
+            for event in self.events
+            if event.kind is ScheduleEventKind.APPLY
+        )
+
+    def __iter__(self) -> Iterator[ScheduleEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def render(self) -> str:
+        """Human-readable timeline (one line per event)."""
+        lines = []
+        for event in self.events:
+            what = event.kind.value
+            if event.kind is ScheduleEventKind.APPLY:
+                detail = f"input {event.payload[0]}"
+            else:
+                detail = "bits " + "".join(str(b) for b in event.payload)
+            lines.append(
+                f"[{event.start:6d}..{event.end:6d}) test {event.test_index} "
+                f"{what:15s} {detail}"
+            )
+        return "\n".join(lines)
+
+
+# Not a pytest class, despite the name.
+TestSchedule.__test__ = False  # type: ignore[attr-defined]

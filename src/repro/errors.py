@@ -1,0 +1,61 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library errors derive from :class:`ReproError` so that callers can catch
+everything raised by this package with a single ``except`` clause while still
+letting programming errors (``TypeError``, ``ValueError`` raised by numpy,
+etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class StateTableError(ReproError):
+    """A state table is malformed (bad shapes, out-of-range states, ...)."""
+
+
+class KissFormatError(ReproError):
+    """A KISS2 document could not be parsed or is inconsistent."""
+
+
+class IncompleteMachineError(ReproError):
+    """An operation requiring a completely specified machine met a hole."""
+
+
+class EncodingError(ReproError):
+    """State encoding / decoding failed (bad width, unknown code, ...)."""
+
+
+class SearchBudgetExceeded(ReproError):
+    """A bounded search (UIO / transfer) ran out of its node budget.
+
+    Carries the number of nodes expanded before giving up so callers can
+    decide whether to retry with a larger budget.
+    """
+
+    def __init__(self, message: str, nodes_expanded: int) -> None:
+        super().__init__(message)
+        self.nodes_expanded = nodes_expanded
+
+
+class GenerationError(ReproError):
+    """The test generation procedure reached an inconsistent internal state."""
+
+
+class NetlistError(ReproError):
+    """A gate-level netlist is malformed (cycles, dangling nets, ...)."""
+
+
+class SynthesisError(ReproError):
+    """FSM-to-gates synthesis failed."""
+
+
+class FaultSimulationError(ReproError):
+    """The fault simulator was driven with inconsistent inputs."""
+
+
+class BenchmarkError(ReproError):
+    """An unknown benchmark circuit was requested."""

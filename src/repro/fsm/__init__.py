@@ -1,0 +1,43 @@
+"""Finite-state-machine substrate.
+
+This subpackage provides the functional circuit description used throughout
+the library: completely specified Mealy machines given as dense state tables
+(:class:`~repro.fsm.state_table.StateTable`), the KISS2 benchmark exchange
+format (:mod:`repro.fsm.kiss`), binary state encoding and table completion
+(:mod:`repro.fsm.encoding`), programmatic and random construction helpers
+(:mod:`repro.fsm.builders`), and structural analysis such as reachability and
+state equivalence (:mod:`repro.fsm.analysis`).
+"""
+
+from repro.fsm.state_table import StateTable, Transition
+from repro.fsm.kiss import KissMachine, KissRow, parse_kiss, write_kiss
+from repro.fsm.encoding import (
+    StateEncoding,
+    complete_to_power_of_two,
+    natural_encoding,
+)
+from repro.fsm.builders import StateTableBuilder, random_cube_machine
+from repro.fsm.analysis import (
+    reachable_states,
+    is_strongly_connected,
+    equivalent_state_pairs,
+    machines_equivalent,
+)
+
+__all__ = [
+    "StateTable",
+    "Transition",
+    "KissMachine",
+    "KissRow",
+    "parse_kiss",
+    "write_kiss",
+    "StateEncoding",
+    "complete_to_power_of_two",
+    "natural_encoding",
+    "StateTableBuilder",
+    "random_cube_machine",
+    "reachable_states",
+    "is_strongly_connected",
+    "equivalent_state_pairs",
+    "machines_equivalent",
+]

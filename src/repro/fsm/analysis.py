@@ -1,0 +1,148 @@
+"""Structural analysis of state tables.
+
+These helpers back the validation story of the library: reachability and
+strong connectivity explain when transfer sequences can exist, and state
+equivalence (classic partition refinement) explains when unique input-output
+sequences *cannot* exist — an equivalent state pair is indistinguishable by
+any sequence, so neither state has a UIO.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import StateTableError
+from repro.fsm.state_table import StateTable
+
+__all__ = [
+    "reachable_states",
+    "is_strongly_connected",
+    "equivalence_classes",
+    "equivalent_state_pairs",
+    "has_equivalent_sibling",
+    "machines_equivalent",
+]
+
+
+def reachable_states(table: StateTable, start: int = 0) -> frozenset[int]:
+    """States reachable from ``start`` (inclusive) through any input path."""
+    if not 0 <= start < table.n_states:
+        raise StateTableError(f"start state {start} out of range")
+    seen = {start}
+    frontier = deque([start])
+    while frontier:
+        state = frontier.popleft()
+        for nxt in table.successors(state):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return frozenset(seen)
+
+
+def is_strongly_connected(table: StateTable) -> bool:
+    """True when every state can reach every other state."""
+    n = table.n_states
+    if len(reachable_states(table, 0)) != n:
+        return False
+    # Reverse reachability from state 0: build reverse adjacency once.
+    reverse: list[set[int]] = [set() for _ in range(n)]
+    for state in range(n):
+        for nxt in table.successors(state):
+            reverse[nxt].add(state)
+    seen = {0}
+    frontier = deque([0])
+    while frontier:
+        state = frontier.popleft()
+        for prev in reverse[state]:
+            if prev not in seen:
+                seen.add(prev)
+                frontier.append(prev)
+    return len(seen) == n
+
+
+def equivalence_classes(table: StateTable) -> list[frozenset[int]]:
+    """Partition the states into Mealy-equivalence classes.
+
+    Uses Moore-style partition refinement: the initial partition groups
+    states with identical output rows; each round refines by the block
+    signature of the next-state row, until a fixed point.
+    """
+    outputs = np.asarray(table.output)
+    nexts = np.asarray(table.next_state)
+    # block[s] = id of the block containing s
+    ids: dict[tuple[int, ...], int] = {}
+    block = np.empty(table.n_states, dtype=np.int64)
+    for state in range(table.n_states):
+        signature = tuple(int(v) for v in outputs[state])
+        if signature not in ids:
+            ids[signature] = len(ids)
+        block[state] = ids[signature]
+    n_blocks = len(ids)
+    while True:
+        refined: dict[tuple[int, ...], int] = {}
+        new_block = np.empty_like(block)
+        for state in range(table.n_states):
+            signature = (int(block[state]), *(int(block[n]) for n in nexts[state]))
+            if signature not in refined:
+                refined[signature] = len(refined)
+            new_block[state] = refined[signature]
+        block = new_block
+        if len(refined) == n_blocks:
+            break
+        n_blocks = len(refined)
+    classes: dict[int, set[int]] = {}
+    for state in range(table.n_states):
+        classes.setdefault(int(block[state]), set()).add(state)
+    return [frozenset(members) for members in classes.values()]
+
+
+def equivalent_state_pairs(table: StateTable) -> frozenset[tuple[int, int]]:
+    """All ordered-normalized pairs ``(s, t), s < t`` of equivalent states."""
+    pairs: set[tuple[int, int]] = set()
+    for members in equivalence_classes(table):
+        ordered = sorted(members)
+        for i, s in enumerate(ordered):
+            for t in ordered[i + 1 :]:
+                pairs.add((s, t))
+    return frozenset(pairs)
+
+
+def has_equivalent_sibling(table: StateTable, state: int) -> bool:
+    """True when some other state is equivalent to ``state``.
+
+    Such a state provably has no unique input-output sequence.
+    """
+    for members in equivalence_classes(table):
+        if state in members:
+            return len(members) > 1
+    raise StateTableError(f"state {state} out of range")
+
+
+def machines_equivalent(
+    first: StateTable,
+    second: StateTable,
+    first_start: int = 0,
+    second_start: int = 0,
+) -> bool:
+    """Do two machines produce identical output streams from given starts?
+
+    Standard product-machine breadth-first search; both machines must share
+    input and output widths.
+    """
+    if first.n_inputs != second.n_inputs or first.n_outputs != second.n_outputs:
+        return False
+    seen = {(first_start, second_start)}
+    frontier = deque(seen)
+    while frontier:
+        a, b = frontier.popleft()
+        for combo in range(first.n_input_combinations):
+            next_a, out_a = first.step(a, combo)
+            next_b, out_b = second.step(b, combo)
+            if out_a != out_b:
+                return False
+            if (next_a, next_b) not in seen:
+                seen.add((next_a, next_b))
+                frontier.append((next_a, next_b))
+    return True

@@ -1,0 +1,198 @@
+"""Programmatic and random construction of state tables.
+
+:class:`StateTableBuilder` builds small machines by naming states and listing
+transitions (used heavily by the test suite and the examples).
+:func:`random_cube_machine` generates deterministic pseudo-random machines
+with the *cube structure* of real KISS benchmarks — each state's input space
+is partitioned into a handful of cubes — which keeps two-level synthesis
+realistic even for machines with many primary inputs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import IncompleteMachineError, StateTableError
+from repro.fsm.kiss import KissMachine, KissRow
+from repro.fsm.state_table import StateTable
+
+__all__ = ["StateTableBuilder", "random_cube_machine", "random_state_table"]
+
+
+class StateTableBuilder:
+    """Incremental construction of a dense :class:`StateTable`.
+
+    Example
+    -------
+    >>> b = StateTableBuilder(n_inputs=1, n_outputs=1)
+    >>> b.add("off", 0, "off", 0)
+    >>> b.add("off", 1, "on", 1)
+    >>> b.add("on", 0, "off", 0)
+    >>> b.add("on", 1, "on", 1)
+    >>> table = b.build()
+    >>> table.n_states
+    2
+    """
+
+    def __init__(self, n_inputs: int, n_outputs: int, name: str = "") -> None:
+        if n_inputs < 0 or n_outputs < 0:
+            raise StateTableError("widths must be non-negative")
+        self.n_inputs = n_inputs
+        self.n_outputs = n_outputs
+        self.name = name
+        self._states: dict[str, int] = {}
+        self._entries: dict[tuple[int, int], tuple[int, int]] = {}
+
+    def state(self, name: str) -> int:
+        """Index of state ``name``, registering it on first use."""
+        if name not in self._states:
+            self._states[name] = len(self._states)
+        return self._states[name]
+
+    def add(
+        self,
+        present: str,
+        combination: int | Iterable[int],
+        next_state: str,
+        output: int | Iterable[int],
+    ) -> None:
+        """Define ``present --combination/output--> next_state``.
+
+        ``combination`` and ``output`` may be integers or bit iterables.
+        Redefining an entry with a different target is an error.
+        """
+        src = self.state(present)
+        dst = self.state(next_state)
+        combo = self._coerce(combination, self.n_inputs, "input")
+        out = self._coerce(output, self.n_outputs, "output")
+        key = (src, combo)
+        if key in self._entries and self._entries[key] != (dst, out):
+            raise StateTableError(
+                f"conflicting redefinition of {present!r} under input {combo}"
+            )
+        self._entries[key] = (dst, out)
+
+    def add_row(
+        self,
+        present: str,
+        targets: Mapping[int, tuple[str, int]],
+    ) -> None:
+        """Define several transitions out of ``present`` at once."""
+        for combination, (next_state, output) in targets.items():
+            self.add(present, combination, next_state, output)
+
+    def build(self, fill_unspecified: bool = False) -> StateTable:
+        """Produce the dense table; missing entries raise unless filled."""
+        n_states = len(self._states)
+        if n_states == 0:
+            raise StateTableError("no states defined")
+        n_cols = 1 << self.n_inputs
+        next_state = np.full((n_states, n_cols), -1, dtype=np.int32)
+        output = np.zeros((n_states, n_cols), dtype=np.int64)
+        for (src, combo), (dst, out) in self._entries.items():
+            next_state[src, combo] = dst
+            output[src, combo] = out
+        holes = int((next_state == -1).sum())
+        if holes:
+            if not fill_unspecified:
+                raise IncompleteMachineError(
+                    f"{holes} unspecified entries; pass fill_unspecified=True"
+                )
+            output[next_state == -1] = 0
+            next_state[next_state == -1] = 0
+        names = [name for name, _ in sorted(self._states.items(), key=lambda kv: kv[1])]
+        return StateTable(
+            next_state, output, self.n_inputs, self.n_outputs, names, self.name
+        )
+
+    def _coerce(self, value: int | Iterable[int], width: int, what: str) -> int:
+        if isinstance(value, int):
+            if not 0 <= value < (1 << width):
+                raise StateTableError(f"{what} combination {value} out of range")
+            return value
+        bits = list(value)
+        if len(bits) != width:
+            raise StateTableError(f"{what} needs {width} bits, got {len(bits)}")
+        result = 0
+        for bit in bits:
+            result = (result << 1) | (1 if bit else 0)
+        return result
+
+
+def _split_cubes(rng: random.Random, n_inputs: int, target: int) -> list[str]:
+    """Partition the input space into roughly ``target`` disjoint cubes."""
+    cubes = ["-" * n_inputs]
+    while len(cubes) < target:
+        splittable = [i for i, cube in enumerate(cubes) if "-" in cube]
+        if not splittable:
+            break
+        index = rng.choice(splittable)
+        cube = cubes.pop(index)
+        free = [i for i, ch in enumerate(cube) if ch == "-"]
+        var = rng.choice(free)
+        cubes.append(cube[:var] + "0" + cube[var + 1 :])
+        cubes.append(cube[:var] + "1" + cube[var + 1 :])
+    return cubes
+
+
+def random_cube_machine(
+    n_inputs: int,
+    n_states: int,
+    n_outputs: int,
+    seed: int | str,
+    cubes_per_state: int = 4,
+    name: str = "",
+    output_zero_bias: float = 0.0,
+) -> KissMachine:
+    """Generate a deterministic pseudo-random cube-structured Mealy machine.
+
+    Every state's input space is partitioned into about ``cubes_per_state``
+    cubes, each mapped to a random next state and a random output cube, the
+    way hand-written KISS benchmarks are structured.  The same
+    ``(parameters, seed)`` always produces the same machine.
+
+    ``output_zero_bias`` is the probability that a cube's output is forced
+    to all zeros; real benchmark machines assert their outputs sparsely, and
+    this bias is what makes some states lack unique input-output sequences
+    the way the MCNC circuits do.
+    """
+    if n_states < 1:
+        raise StateTableError("need at least one state")
+    if n_inputs < 0 or n_outputs < 0:
+        raise StateTableError("widths must be non-negative")
+    if not 0.0 <= output_zero_bias <= 1.0:
+        raise StateTableError("output_zero_bias must be within [0, 1]")
+    rng = random.Random(f"repro-cube-machine:{seed}")
+    state_names = [f"s{i}" for i in range(n_states)]
+    rows: list[KissRow] = []
+    for state in range(n_states):
+        target = max(1, min(1 << n_inputs, rng.randint(
+            max(1, cubes_per_state - 1), cubes_per_state + 2
+        )))
+        cubes = _split_cubes(rng, n_inputs, target)
+        for cube in cubes:
+            nxt = rng.randrange(n_states)
+            if n_outputs and rng.random() >= output_zero_bias:
+                out = rng.randrange(1 << n_outputs)
+            else:
+                out = 0
+            out_cube = format(out, f"0{n_outputs}b") if n_outputs else ""
+            rows.append(KissRow(cube, state_names[state], state_names[nxt], out_cube))
+    return KissMachine(n_inputs, n_outputs, rows, state_names[0], name)
+
+
+def random_state_table(
+    n_inputs: int,
+    n_states: int,
+    n_outputs: int,
+    seed: int | str,
+    cubes_per_state: int = 4,
+    name: str = "",
+) -> StateTable:
+    """Dense-table convenience wrapper around :func:`random_cube_machine`."""
+    return random_cube_machine(
+        n_inputs, n_states, n_outputs, seed, cubes_per_state, name
+    ).to_state_table()

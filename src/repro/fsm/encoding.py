@@ -1,0 +1,141 @@
+"""Binary state encoding and table completion.
+
+Full scan turns the state register into a shift register, so every state is
+identified with the ``N_SV``-bit code held in the flip-flops.  The paper's
+Table 4 lists every benchmark with a power-of-two state count: the machines
+are considered *after* state assignment, where all ``2**N_SV`` codes — the
+original states plus the unused codes — are scannable states whose
+transitions must be tested.  :func:`complete_to_power_of_two` performs that
+completion; :class:`StateEncoding` maps state indices to scan vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.fsm.state_table import StateTable
+
+__all__ = [
+    "StateEncoding",
+    "natural_encoding",
+    "gray_encoding",
+    "complete_to_power_of_two",
+]
+
+
+@dataclass(frozen=True)
+class StateEncoding:
+    """An injective assignment of ``width``-bit codes to state indices.
+
+    ``codes[i]`` is the integer code of state ``i``; bit ``width-1`` (the
+    most significant bit) is the first bit scanned in.
+    """
+
+    width: int
+    codes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise EncodingError("encoding width must be >= 1")
+        if len(set(self.codes)) != len(self.codes):
+            raise EncodingError("state codes must be distinct")
+        for code in self.codes:
+            if not 0 <= code < (1 << self.width):
+                raise EncodingError(f"code {code} does not fit in {self.width} bits")
+
+    @property
+    def n_states(self) -> int:
+        return len(self.codes)
+
+    def encode(self, state: int) -> int:
+        """Integer code of ``state``."""
+        try:
+            return self.codes[state]
+        except IndexError:
+            raise EncodingError(f"state {state} out of range") from None
+
+    def encode_bits(self, state: int) -> tuple[int, ...]:
+        """Scan vector of ``state``, most significant bit first."""
+        code = self.encode(state)
+        return tuple((code >> (self.width - 1 - i)) & 1 for i in range(self.width))
+
+    def decode(self, code: int) -> int:
+        """State index holding ``code``; raises if the code is unused."""
+        try:
+            return self.codes.index(code)
+        except ValueError:
+            raise EncodingError(f"code {code} is not assigned to any state") from None
+
+    def is_complete(self) -> bool:
+        """True when every ``width``-bit code is assigned to a state."""
+        return len(self.codes) == 1 << self.width
+
+
+def natural_encoding(table: StateTable) -> StateEncoding:
+    """Encode state ``i`` with code ``i`` over ``N_SV`` bits."""
+    return StateEncoding(table.n_state_variables, tuple(range(table.n_states)))
+
+
+def gray_encoding(table: StateTable) -> StateEncoding:
+    """Encode state ``i`` with the ``i``-th Gray code over ``N_SV`` bits.
+
+    Adjacent state indices differ in one code bit — a classic state
+    assignment that often changes the synthesized logic (and with it the
+    gate-level fault universe) without touching the functional behaviour,
+    which is exactly what the encoding-ablation benchmark measures.
+    """
+    return StateEncoding(
+        table.n_state_variables,
+        tuple(i ^ (i >> 1) for i in range(table.n_states)),
+    )
+
+
+def complete_to_power_of_two(
+    table: StateTable,
+    unused_next_state: int = 0,
+    unused_output: int = 0,
+) -> StateTable:
+    """Extend ``table`` so that it has exactly ``2**N_SV`` states.
+
+    The added states model the unused codes of a scanned implementation:
+    every transition out of them goes to ``unused_next_state`` (the reset
+    state by default) with output ``unused_output``.  Machines that already
+    have a power-of-two state count are returned unchanged.
+    """
+    n_states = table.n_states
+    target = 1 << table.n_state_variables
+    if n_states == target:
+        return table
+    if not 0 <= unused_next_state < n_states:
+        raise EncodingError(
+            f"unused_next_state {unused_next_state} is not an original state"
+        )
+    if not 0 <= unused_output < (1 << max(table.n_outputs, 1)):
+        raise EncodingError(f"unused_output {unused_output} out of range")
+    extra = target - n_states
+    n_cols = table.n_input_combinations
+    next_state = np.vstack(
+        [
+            np.asarray(table.next_state),
+            np.full((extra, n_cols), unused_next_state, dtype=np.int32),
+        ]
+    )
+    output = np.vstack(
+        [
+            np.asarray(table.output),
+            np.full((extra, n_cols), unused_output, dtype=np.int64),
+        ]
+    )
+    names = list(table.state_names) + [f"unused{i}" for i in range(extra)]
+    return StateTable(
+        next_state, output, table.n_inputs, table.n_outputs, names, table.name
+    )
+
+
+def scan_chain_order(encoding: StateEncoding) -> Sequence[int]:
+    """Bit positions in scan order (MSB first), as flip-flop indices."""
+    return tuple(range(encoding.width))

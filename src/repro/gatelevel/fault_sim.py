@@ -1,0 +1,334 @@
+"""Sequential fault simulation of scan tests, thousands of faults per word.
+
+Each bit position of a Python integer word is one faulty machine — and
+Python integers are arbitrary precision, so a "word" holds an entire batch
+(:data:`DEFAULT_BATCH_BITS` faults) and the bitwise operations run at C
+speed over all of them at once.  A scan
+test is simulated clock by clock: the scan-in broadcasts the same initial
+state to every faulty machine, the combinational block is evaluated with the
+batch's fault effects injected, primary outputs are compared against the
+fault-free response after every vector, and the final state words are
+compared at scan-out.  Faults are dropped as soon as they are detected.
+
+Injection model (one fault per bit ``b`` with mask ``m_b``):
+
+* stuck-at on a gate output — the stored line value is forced in bit ``b``;
+* stuck-at on a gate input pin — the value is forced only when that gate
+  reads that pin;
+* AND/OR bridging between ``g1`` and ``g2`` — every read (and observation)
+  of either line sees ``g1 op g2`` in bit ``b``.  Within one clock cycle
+  the raw values of ``g1`` and ``g2`` are unaffected by their own bridge
+  (the paper's condition 3 forbids paths between them), so the stored
+  values can be combined directly; across cycles the divergence lives in
+  the per-bit state words.
+
+The fault-free reference comes from the functional state table, which the
+synthesized netlist is verified against (see
+:meth:`repro.gatelevel.scan.ScanCircuit.verify_against`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.core.testset import ScanTest, TestSet
+from repro.errors import FaultSimulationError
+from repro.fsm.state_table import StateTable
+from repro.gatelevel.bridging import BridgeKind, BridgingFault
+from repro.gatelevel.netlist import GateType, Netlist
+from repro.gatelevel.scan import ScanCircuit
+from repro.gatelevel.stuck_at import StuckAtFault
+
+__all__ = [
+    "FaultSimResult",
+    "simulate_tests",
+    "detects",
+    "make_simulator",
+    "DEFAULT_BATCH_BITS",
+]
+
+Fault = StuckAtFault | BridgingFault
+
+#: Faults packed per batch word.  Larger batches amortize the per-gate
+#: Python overhead; beyond a few thousand bits the big-int arithmetic
+#: itself starts to dominate.
+DEFAULT_BATCH_BITS = 2048
+
+
+@dataclass
+class FaultSimResult:
+    """Outcome of simulating a sequence of tests over a fault universe."""
+
+    detected: frozenset[Fault]
+    undetected: frozenset[Fault]
+    #: per test (in simulation order): number of new detections
+    per_test_new: tuple[int, ...]
+
+    @property
+    def n_faults(self) -> int:
+        return len(self.detected) + len(self.undetected)
+
+    @property
+    def coverage_pct(self) -> float:
+        if self.n_faults == 0:
+            return 100.0
+        return 100.0 * len(self.detected) / self.n_faults
+
+
+class _Batch:
+    """A group of faults packed into one big-int word, with injection tables."""
+
+    def __init__(self, netlist: Netlist, faults: Sequence[Fault]) -> None:
+        if not faults:
+            raise FaultSimulationError("a batch needs at least one fault")
+        self.faults = list(faults)
+        #: the all-ones word of this batch's width
+        self.ones = (1 << len(self.faults)) - 1
+        # line -> (force_mask_1, force_mask_0) for stuck outputs
+        self.store_force: dict[int, tuple[int, int]] = {}
+        # (gate, pin) -> (force_mask_1, force_mask_0)
+        self.pin_force: dict[tuple[int, int], tuple[int, int]] = {}
+        # line -> list of (mask, partner_line, is_and)
+        self.bridges: dict[int, list[tuple[int, int, bool]]] = {}
+        for bit, fault in enumerate(self.faults):
+            mask = 1 << bit
+            if isinstance(fault, StuckAtFault):
+                if fault.pin is None:
+                    ones, zeros = self.store_force.get(fault.gate, (0, 0))
+                    if fault.value:
+                        ones |= mask
+                    else:
+                        zeros |= mask
+                    self.store_force[fault.gate] = (ones, zeros)
+                else:
+                    key = (fault.gate, fault.pin)
+                    ones, zeros = self.pin_force.get(key, (0, 0))
+                    if fault.value:
+                        ones |= mask
+                    else:
+                        zeros |= mask
+                    self.pin_force[key] = (ones, zeros)
+            else:
+                is_and = fault.kind is BridgeKind.AND
+                self.bridges.setdefault(fault.line1, []).append(
+                    (mask, fault.line2, is_and)
+                )
+                self.bridges.setdefault(fault.line2, []).append(
+                    (mask, fault.line1, is_and)
+                )
+
+
+def _forward(
+    netlist: Netlist,
+    batch: _Batch,
+    input_words: Sequence[int],
+    raw: list[int] | None,
+) -> list[int]:
+    """One combinational sweep with the batch's faults injected.
+
+    ``raw`` carries the bridge-free values of the same cycle (the first
+    pass); when it is ``None`` bridge adjustments are skipped entirely —
+    that *is* the first pass.  Bridged lines are never downstream of their
+    own bridge (paper condition 3), so their raw values equal their faulty
+    values in their own bit position, which makes the two-pass scheme
+    exact regardless of topological ordering of the two lines.
+    """
+    values = [0] * netlist.n_gates
+    bridges = batch.bridges if raw is not None else {}
+    pin_force = batch.pin_force
+    store_force = batch.store_force
+    word = batch.ones
+    position = 0
+
+    def read(line: int, reader: int, pin: int) -> int:
+        value = values[line]
+        rules = bridges.get(line)
+        if rules:
+            for mask, partner, is_and in rules:
+                base = raw[line]
+                partner_value = raw[partner]
+                bridged = base & partner_value if is_and else base | partner_value
+                value = (value & ~mask) | (bridged & mask)
+        forced = pin_force.get((reader, pin))
+        if forced:
+            ones, zeros = forced
+            value = (value | ones) & ~zeros & word
+        return value
+
+    for gate in netlist.gates:
+        kind = gate.kind
+        if kind is GateType.INPUT:
+            value = input_words[position]
+            position += 1
+        elif kind is GateType.CONST0:
+            value = 0
+        elif kind is GateType.CONST1:
+            value = word
+        else:
+            fanins = gate.fanins
+            if kind is GateType.BUF:
+                value = read(fanins[0], gate.index, 0)
+            elif kind is GateType.NOT:
+                value = ~read(fanins[0], gate.index, 0) & word
+            elif kind in (GateType.AND, GateType.NAND):
+                value = word
+                for pin, line in enumerate(fanins):
+                    value &= read(line, gate.index, pin)
+                if kind is GateType.NAND:
+                    value = ~value & word
+            elif kind in (GateType.OR, GateType.NOR):
+                value = 0
+                for pin, line in enumerate(fanins):
+                    value |= read(line, gate.index, pin)
+                if kind is GateType.NOR:
+                    value = ~value & word
+            else:  # XOR / XNOR
+                value = 0
+                for pin, line in enumerate(fanins):
+                    value ^= read(line, gate.index, pin)
+                if kind is GateType.XNOR:
+                    value = ~value & word
+        forced = store_force.get(gate.index)
+        if forced:
+            ones, zeros = forced
+            value = (value | ones) & ~zeros & word
+        values[gate.index] = value
+    return values
+
+
+def _evaluate_batch(
+    netlist: Netlist,
+    batch: _Batch,
+    input_words: Sequence[int],
+) -> tuple[list[int], list[int]]:
+    """Evaluate one cycle; returns ``(values, raw)`` word lists.
+
+    For batches without bridging faults the single sweep is exact and
+    ``raw is values``; with bridges the first (bridge-free) sweep supplies
+    the raw line values the second sweep's adjustments read.
+    """
+    if not batch.bridges:
+        values = _forward(netlist, batch, input_words, raw=None)
+        return values, values
+    raw = _forward(netlist, batch, input_words, raw=None)
+    return _forward(netlist, batch, input_words, raw=raw), raw
+
+
+def _observe(batch: _Batch, values: list[int], raw: list[int], line: int) -> int:
+    """The value of ``line`` as seen by the tester / the next scan stage."""
+    value = values[line]
+    rules = batch.bridges.get(line)
+    if rules:
+        for mask, partner, is_and in rules:
+            base = raw[line]
+            partner_value = raw[partner]
+            bridged = base & partner_value if is_and else base | partner_value
+            value = (value & ~mask) | (bridged & mask)
+    return value
+
+
+def _simulate_test_on_batch(
+    circuit: ScanCircuit,
+    table: StateTable,
+    batch: _Batch,
+    test: ScanTest,
+) -> int:
+    """Detection mask (bit per fault) for one scan test."""
+    netlist = circuit.netlist
+    sv = circuit.n_state_variables
+    pi = circuit.n_primary_inputs
+    po = circuit.n_primary_outputs
+    ones = batch.ones
+    state_words = [
+        ones if bit else 0
+        for bit in circuit.encoding.encode_bits(test.initial_state)
+    ]
+    detected = 0
+    good_state = test.initial_state
+    next_lines = circuit.circuit.next_state_lines
+    output_lines = circuit.circuit.primary_output_lines
+    for combo in test.inputs:
+        input_words = state_words + [
+            ones if (combo >> (pi - 1 - j)) & 1 else 0 for j in range(pi)
+        ]
+        values, raw = _evaluate_batch(netlist, batch, input_words)
+        good_state, good_out = table.step(good_state, combo)
+        for j in range(po):
+            good_bit = ones if (good_out >> (po - 1 - j)) & 1 else 0
+            detected |= _observe(batch, values, raw, output_lines[j]) ^ good_bit
+        state_words = [_observe(batch, values, raw, line) for line in next_lines]
+        if detected == ones:  # everything already caught
+            return detected
+    for j, bit in enumerate(circuit.encoding.encode_bits(good_state)):
+        good_bit = ones if bit else 0
+        detected |= state_words[j] ^ good_bit
+    return detected & ones
+
+
+def detects(
+    circuit: ScanCircuit,
+    table: StateTable,
+    test: ScanTest,
+    faults: Iterable[Fault],
+    batch_bits: int = DEFAULT_BATCH_BITS,
+) -> set[Fault]:
+    """The subset of ``faults`` that ``test`` detects."""
+    if batch_bits < 1:
+        raise FaultSimulationError("batch_bits must be >= 1")
+    fault_list = list(faults)
+    found: set[Fault] = set()
+    for start in range(0, len(fault_list), batch_bits):
+        chunk = fault_list[start : start + batch_bits]
+        batch = _Batch(circuit.netlist, chunk)
+        mask = _simulate_test_on_batch(circuit, table, batch, test)
+        while mask:
+            low = (mask & -mask).bit_length() - 1
+            found.add(chunk[low])
+            mask &= mask - 1
+    return found
+
+
+def make_simulator(
+    circuit: ScanCircuit, table: StateTable
+) -> Callable[[ScanTest, frozenset[Fault]], set[Fault]]:
+    """A ``simulate(test, remaining)`` closure for
+    :func:`repro.core.compaction.select_effective_tests`."""
+
+    def simulate(test: ScanTest, remaining: frozenset[Fault]) -> set[Fault]:
+        # repr-keyed sort keeps batching deterministic even for mixed
+        # stuck-at / bridging universes (the dataclasses do not inter-compare).
+        return detects(circuit, table, test, sorted(remaining, key=repr))
+
+    return simulate
+
+
+def simulate_tests(
+    circuit: ScanCircuit,
+    table: StateTable,
+    tests: TestSet | Sequence[ScanTest],
+    faults: Iterable[Fault],
+    drop_detected: bool = True,
+) -> FaultSimResult:
+    """Simulate ``tests`` in their given order over ``faults``.
+
+    With ``drop_detected`` (the default, and what the paper does) detected
+    faults leave the universe, so later tests only pay for what is left.
+    """
+    test_list = list(tests)
+    remaining = list(dict.fromkeys(faults))
+    detected: set[Fault] = set()
+    per_test: list[int] = []
+    for test in test_list:
+        if not remaining:
+            per_test.append(0)
+            continue
+        newly = detects(circuit, table, test, remaining)
+        per_test.append(len(newly))
+        detected |= newly
+        if drop_detected:
+            remaining = [fault for fault in remaining if fault not in newly]
+    undetected = frozenset(remaining) if drop_detected else frozenset(
+        fault for fault in remaining if fault not in detected
+    )
+    return FaultSimResult(frozenset(detected), undetected, tuple(per_test))

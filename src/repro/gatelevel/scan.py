@@ -1,0 +1,160 @@
+"""Full-scan circuit model: the synthesized block plus scanned flip-flops.
+
+The scan chain makes the state register fully controllable (scan-in) and
+observable (scan-out); the combinational block is the synthesized netlist.
+:class:`ScanCircuit` applies functional scan tests exactly as the paper
+describes — scan-in the initial state, apply the input combinations one
+clock at a time observing the primary outputs, scan-out the final state —
+and is the reference the fault simulator compares faulty machines against.
+
+``verify_against`` cross-checks the gate-level model against the state table
+for every (state, input) pair: the synthesized implementation and the
+functional description must agree everywhere, which is the library's main
+integration invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.testset import ScanTest
+from repro.errors import SynthesisError
+from repro.fsm.kiss import KissMachine
+from repro.fsm.state_table import StateTable
+from repro.gatelevel.netlist import ALL_ONES, exhaustive_pattern_words, unpack_bits
+from repro.gatelevel.synthesis import SynthesisOptions, SynthesizedCircuit, synthesize
+
+__all__ = ["ScanCircuit"]
+
+
+class ScanCircuit:
+    """A synthesized, fully scanned implementation of a state table."""
+
+    def __init__(self, circuit: SynthesizedCircuit, name: str = "") -> None:
+        self.circuit = circuit
+        self.netlist = circuit.netlist
+        self.name = name or self.netlist.name
+        self.n_state_variables = circuit.n_state_variables
+        self.n_primary_inputs = circuit.n_primary_inputs
+        self.n_primary_outputs = circuit.n_primary_outputs
+        self.encoding = circuit.encoding
+
+    # State indices are the public currency; codes stay internal.
+
+    def state_code_bits(self, state: int) -> tuple[int, ...]:
+        """Scan vector (MSB first) establishing table state ``state``."""
+        return self.encoding.encode_bits(state)
+
+    def decode_state(self, code: int) -> int:
+        """Table state index holding scan code ``code``."""
+        return self.encoding.decode(code)
+
+    @classmethod
+    def from_machine(
+        cls,
+        machine: KissMachine | StateTable,
+        options: SynthesisOptions | None = None,
+    ) -> "ScanCircuit":
+        """Synthesize ``machine`` and wrap it."""
+        circuit = synthesize(machine, options)
+        name = machine.name if hasattr(machine, "name") else ""
+        return cls(circuit, name)
+
+    # ------------------------------------------------------------ semantics
+
+    def _input_words(self, state: int, combo: int) -> list[np.ndarray]:
+        pi = self.n_primary_inputs
+        words: list[np.ndarray] = [
+            np.full(1, ALL_ONES if bit else 0, dtype=np.uint64)
+            for bit in self.encoding.encode_bits(state)
+        ]
+        for j in range(pi):
+            bit = (combo >> (pi - 1 - j)) & 1
+            words.append(np.full(1, ALL_ONES if bit else 0, dtype=np.uint64))
+        return words
+
+    def step(self, state: int, combo: int) -> tuple[int, int]:
+        """One functional clock: ``(next_state_index, output_combination)``.
+
+        ``state`` is a table state index; the scan code translation is
+        internal to the circuit model.
+        """
+        self._check(state, combo)
+        values = self.netlist.evaluate(self._input_words(state, combo))
+        one = np.uint64(1)
+        next_code = 0
+        for line in self.circuit.next_state_lines:
+            next_code = (next_code << 1) | int(values[line, 0] & one)
+        output = 0
+        for line in self.circuit.primary_output_lines:
+            output = (output << 1) | int(values[line, 0] & one)
+        return self.encoding.decode(next_code), output
+
+    def run_test(self, test: ScanTest) -> tuple[int, tuple[int, ...]]:
+        """Apply one scan test; return ``(scanned_out_state, outputs)``."""
+        state = test.initial_state
+        outputs: list[int] = []
+        for combo in test.inputs:
+            state, out = self.step(state, combo)
+            outputs.append(out)
+        return state, tuple(outputs)
+
+    def verify_against(self, table: StateTable) -> None:
+        """Prove gate-level/functional agreement on every transition.
+
+        Evaluates the netlist pattern-parallel over all
+        ``2**(N_SV + N_PI)`` input patterns at once (64 per machine word)
+        and compares each next-state and output bit column against the
+        state table.  Raises :class:`SynthesisError` on the first mismatch.
+        """
+        if table.n_states > (1 << self.n_state_variables):
+            raise SynthesisError("table has more states than the encoding")
+        sv, pi = self.n_state_variables, self.n_primary_inputs
+        n_patterns = 1 << (sv + pi)
+        values = self.netlist.evaluate(exhaustive_pattern_words(sv + pi))
+        # Pattern p = (code << pi) | combo; unassigned codes are skipped.
+        code_to_index = np.full(1 << sv, -1, dtype=np.int64)
+        for index, code in enumerate(self.encoding.codes):
+            code_to_index[code] = index
+        index_to_code = np.asarray(self.encoding.codes, dtype=np.int64)
+        pattern_code = np.arange(n_patterns) >> pi
+        pattern_combo = np.arange(n_patterns) & ((1 << pi) - 1)
+        pattern_index = code_to_index[pattern_code]
+        keep = pattern_index >= 0
+        kept_index = pattern_index[keep]
+        kept_combo = pattern_combo[keep]
+        expected_next_code = index_to_code[
+            np.asarray(table.next_state)[kept_index, kept_combo]
+        ]
+        expected_out = np.asarray(table.output)[kept_index, kept_combo]
+        for j, line in enumerate(self.circuit.next_state_lines):
+            got = unpack_bits(values[line], n_patterns)[keep]
+            want = ((expected_next_code >> (sv - 1 - j)) & 1).astype(bool)
+            if not np.array_equal(got, want):
+                bad = int(np.flatnonzero(got != want)[0])
+                raise SynthesisError(
+                    f"next-state bit {j} disagrees at state "
+                    f"{int(kept_index[bad])}, input {int(kept_combo[bad])}"
+                )
+        po = self.n_primary_outputs
+        for j, line in enumerate(self.circuit.primary_output_lines):
+            got = unpack_bits(values[line], n_patterns)[keep]
+            want = ((expected_out >> (po - 1 - j)) & 1).astype(bool)
+            if not np.array_equal(got, want):
+                bad = int(np.flatnonzero(got != want)[0])
+                raise SynthesisError(
+                    f"output bit {j} disagrees at state "
+                    f"{int(kept_index[bad])}, input {int(kept_combo[bad])}"
+                )
+
+    def _check(self, state: int, combo: int) -> None:
+        if not 0 <= state < self.encoding.n_states:
+            raise SynthesisError(f"state index {state} out of range")
+        if not 0 <= combo < (1 << self.n_primary_inputs):
+            raise SynthesisError(f"input combination {combo} out of range")
+
+    def __repr__(self) -> str:
+        return (
+            f"<ScanCircuit {self.name!r}: {self.netlist.n_gates} gates, "
+            f"{self.n_state_variables} FFs>"
+        )

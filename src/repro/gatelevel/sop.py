@@ -1,0 +1,168 @@
+"""Two-level (sum-of-products) cube utilities.
+
+The synthesis flow works on cubes — strings over ``{0, 1, -}`` — exactly as
+they appear in KISS rows.  :func:`merge_cubes` performs iterated adjacency
+merging (the distance-1 step of Quine-McCluskey) which is what keeps
+minterm-listed machines like ``lion`` from synthesizing one product term per
+table entry.  :func:`quine_mccluskey` is a complete single-output minimizer
+(prime generation + greedy/essential cover) for small variable counts, used
+by tests and available as a library utility.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import SynthesisError
+
+__all__ = ["cube_covers", "cubes_overlap", "merge_cubes", "quine_mccluskey"]
+
+
+def _check_cube(cube: str) -> None:
+    if any(ch not in "01-" for ch in cube):
+        raise SynthesisError(f"bad cube {cube!r}")
+
+
+def cube_covers(cube: str, minterm: int) -> bool:
+    """Does ``cube`` contain ``minterm`` (MSB-first bit order)?"""
+    _check_cube(cube)
+    width = len(cube)
+    for position, ch in enumerate(cube):
+        if ch == "-":
+            continue
+        bit = (minterm >> (width - 1 - position)) & 1
+        if bit != int(ch):
+            return False
+    return True
+
+
+def cubes_overlap(first: str, second: str) -> bool:
+    """Do two cubes share at least one minterm?"""
+    if len(first) != len(second):
+        raise SynthesisError("cubes must have equal width")
+    _check_cube(first)
+    _check_cube(second)
+    return all(
+        a == "-" or b == "-" or a == b for a, b in zip(first, second)
+    )
+
+
+def _try_merge(first: str, second: str) -> str | None:
+    """Merge two cubes differing in exactly one specified position."""
+    if len(first) != len(second):
+        return None
+    difference = -1
+    for position, (a, b) in enumerate(zip(first, second)):
+        if a == b:
+            continue
+        if a == "-" or b == "-" or difference != -1:
+            return None
+        difference = position
+    if difference == -1:
+        return None
+    return first[:difference] + "-" + first[difference + 1 :]
+
+
+def merge_cubes(cubes: Iterable[str]) -> list[str]:
+    """Iteratively merge adjacent cubes until a fixed point.
+
+    The input cubes must be pairwise disjoint (as KISS rows of one
+    present-state/next-state/output group are); the result covers exactly
+    the same minterms with (usually far) fewer cubes.
+    """
+    current = list(dict.fromkeys(cubes))
+    for cube in current:
+        _check_cube(cube)
+    changed = True
+    while changed:
+        changed = False
+        result: list[str] = []
+        used = [False] * len(current)
+        for i in range(len(current)):
+            if used[i]:
+                continue
+            merged_any = False
+            for j in range(i + 1, len(current)):
+                if used[j]:
+                    continue
+                merged = _try_merge(current[i], current[j])
+                if merged is not None:
+                    used[i] = used[j] = True
+                    result.append(merged)
+                    merged_any = True
+                    changed = True
+                    break
+            if not merged_any and not used[i]:
+                result.append(current[i])
+        current = list(dict.fromkeys(result))
+    return current
+
+
+def quine_mccluskey(
+    n_vars: int,
+    minterms: Sequence[int],
+    dont_cares: Sequence[int] = (),
+) -> list[str]:
+    """Minimal-ish SOP cover of ``minterms`` as cubes (MSB-first).
+
+    Exact prime-implicant generation followed by essential-prime selection
+    and a greedy cover of the rest.  Intended for ``n_vars`` up to ~12.
+    """
+    if n_vars < 0:
+        raise SynthesisError("n_vars must be non-negative")
+    if n_vars > 16:
+        raise SynthesisError("quine_mccluskey is limited to 16 variables")
+    on_set = sorted(set(minterms))
+    dc_set = sorted(set(dont_cares) - set(on_set))
+    for term in on_set + dc_set:
+        if not 0 <= term < (1 << n_vars):
+            raise SynthesisError(f"minterm {term} out of range")
+    if not on_set:
+        return []
+    if n_vars == 0:
+        return [""]
+
+    def to_cube(term: int) -> str:
+        return format(term, f"0{n_vars}b")
+
+    groups = {to_cube(term) for term in on_set + dc_set}
+    primes: set[str] = set()
+    current = groups
+    while current:
+        merged_into: set[str] = set()
+        next_level: set[str] = set()
+        current_list = sorted(current)
+        for i, first in enumerate(current_list):
+            for second in current_list[i + 1 :]:
+                merged = _try_merge(first, second)
+                if merged is not None:
+                    merged_into.add(first)
+                    merged_into.add(second)
+                    next_level.add(merged)
+        primes |= current - merged_into
+        current = next_level
+    # Cover selection over the on-set only.
+    prime_list = sorted(primes)
+    coverage = {
+        cube: frozenset(t for t in on_set if cube_covers(cube, t))
+        for cube in prime_list
+    }
+    chosen: list[str] = []
+    uncovered = set(on_set)
+    # Essential primes first.
+    for term in on_set:
+        covering = [cube for cube in prime_list if term in coverage[cube]]
+        if len(covering) == 1 and covering[0] not in chosen:
+            chosen.append(covering[0])
+            uncovered -= coverage[covering[0]]
+    # Greedy for the remainder.
+    while uncovered:
+        best = max(
+            prime_list,
+            key=lambda cube: (len(coverage[cube] & uncovered), cube.count("-")),
+        )
+        if not coverage[best] & uncovered:  # pragma: no cover - cover exists
+            raise SynthesisError("greedy cover failed")
+        chosen.append(best)
+        uncovered -= coverage[best]
+    return chosen

@@ -1,0 +1,35 @@
+"""Small timing helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["Stopwatch", "stopwatch"]
+
+
+class Stopwatch:
+    """Mutable elapsed-seconds holder filled in by :func:`stopwatch`."""
+
+    def __init__(self) -> None:
+        self.elapsed_s: float = 0.0
+
+    def __repr__(self) -> str:
+        return f"<Stopwatch {self.elapsed_s:.3f}s>"
+
+
+@contextmanager
+def stopwatch() -> Iterator[Stopwatch]:
+    """Time a block::
+
+        with stopwatch() as clock:
+            work()
+        print(clock.elapsed_s)
+    """
+    clock = Stopwatch()
+    started = time.perf_counter()
+    try:
+        yield clock
+    finally:
+        clock.elapsed_s = time.perf_counter() - started

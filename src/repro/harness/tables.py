@@ -1,0 +1,76 @@
+"""Plain-text table rendering for the experiment harness.
+
+The harness prints the same rows the paper's tables report; this module
+keeps the formatting in one place (fixed-width columns, right-aligned
+numbers, two-decimal percentages) so every ``tableN`` renders consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_csv", "format_value"]
+
+
+def format_value(value: object) -> str:
+    """Render one cell: floats with two decimals, everything else ``str``."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width text table with a header rule.
+
+    The first column is left-aligned (circuit names), the rest right-aligned
+    (numbers), matching the paper's layout.
+    """
+    rendered = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        header.ljust(widths[i]) if i == 0 else header.rjust(widths[i])
+        for i, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered:
+        lines.append(
+            "  ".join(
+                cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+                for i, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """RFC-4180-style CSV of the same rows (for spreadsheets / pandas)."""
+    import csv
+    import io
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(list(headers))
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+        writer.writerow([format_value(cell) for cell in row])
+    return buffer.getvalue()

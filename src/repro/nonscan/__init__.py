@@ -1,0 +1,37 @@
+"""Non-scan functional testing — the paper's comparison point.
+
+The paper's introduction contrasts scan-based functional tests with the
+earlier non-scan procedures of Cheng & Jou and Pomeranz & Reddy (its
+references [2] and [3]) and observes that without scan, complete gate-level
+fault coverage was not reported.  This subpackage implements the non-scan
+substrate so that the comparison can be *measured* rather than cited:
+
+* :mod:`repro.nonscan.synchronizing` — synchronizing and homing sequences,
+  the only way a non-scan tester can establish a known state;
+* :mod:`repro.nonscan.generator` — a checking-experiment style generator
+  that produces one long test sequence visiting transitions via transfer
+  sequences and verifying next states via UIOs where they exist;
+* :mod:`repro.nonscan.simulate` — detection of explicit state-transition
+  faults by a single input sequence observed only at the primary outputs.
+
+Two structural handicaps of non-scan testing fall out immediately: states
+that are unreachable from the reset state (e.g. the unused codes of a
+completed machine) can never be tested, and transitions whose next state
+has no UIO can never have their next state verified.  Scan removes both,
+which is exactly the paper's argument.
+"""
+
+from repro.nonscan.synchronizing import (
+    find_homing_sequence,
+    find_synchronizing_sequence,
+)
+from repro.nonscan.generator import NonScanResult, generate_nonscan_sequence
+from repro.nonscan.simulate import simulate_nonscan_faults
+
+__all__ = [
+    "find_synchronizing_sequence",
+    "find_homing_sequence",
+    "NonScanResult",
+    "generate_nonscan_sequence",
+    "simulate_nonscan_faults",
+]

@@ -1,0 +1,156 @@
+"""Checking-experiment style test generation without scan.
+
+One long input sequence is produced.  It starts by establishing a known
+state — a synchronizing sequence if one exists, otherwise the machine's
+reset state is assumed — and then repeatedly:
+
+1. transfers (through ordinary transitions) to a state ``s`` with untested
+   outgoing transitions,
+2. applies an input ``a`` exercising the transition,
+3. applies the UIO sequence of the next state when one exists, which
+   *verifies* the transition; otherwise the transition counts as
+   exercised-but-unverified (its output was observed, its next state was
+   not).
+
+The result quantifies the two structural gaps the paper's scan-based
+procedure closes: transitions out of unreachable states can never be
+exercised, and transitions into UIO-less states can never be verified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import GeneratorConfig
+from repro.fsm.state_table import StateTable
+from repro.nonscan.synchronizing import find_synchronizing_sequence, synchronized_state
+from repro.uio.search import UioTable, compute_uio_table
+from repro.uio.transfer import find_transfer
+
+__all__ = ["NonScanResult", "generate_nonscan_sequence"]
+
+
+@dataclass
+class NonScanResult:
+    """Outcome of non-scan test generation."""
+
+    machine_name: str
+    sequence: tuple[int, ...]
+    start_state: int
+    used_synchronizing: bool
+    #: transitions whose next state was verified through a UIO
+    verified: frozenset[tuple[int, int]]
+    #: transitions exercised with observed outputs but unverified next state
+    exercised_only: frozenset[tuple[int, int]]
+    #: transitions never exercised (unreachable from the start state)
+    unreachable: frozenset[tuple[int, int]]
+    uio_table: UioTable
+
+    @property
+    def length(self) -> int:
+        return len(self.sequence)
+
+    @property
+    def n_transitions(self) -> int:
+        return len(self.verified) + len(self.exercised_only) + len(self.unreachable)
+
+    @property
+    def verified_pct(self) -> float:
+        return 100.0 * len(self.verified) / self.n_transitions
+
+    @property
+    def exercised_pct(self) -> float:
+        covered = len(self.verified) + len(self.exercised_only)
+        return 100.0 * covered / self.n_transitions
+
+
+def generate_nonscan_sequence(
+    table: StateTable,
+    config: GeneratorConfig | None = None,
+    uio_table: UioTable | None = None,
+    assume_reset: bool = True,
+) -> NonScanResult:
+    """Generate one non-scan test sequence for ``table``.
+
+    ``assume_reset`` controls the fallback when no synchronizing sequence
+    exists: assume the machine powers up in state 0 (a hardware reset),
+    which is what the non-scan literature does.  Without scan the transfer
+    bound does not apply — any-length transfers are allowed, since walking
+    the machine is the only way to move.
+    """
+    if config is None:
+        config = GeneratorConfig()
+    if uio_table is None:
+        uio_table = compute_uio_table(
+            table,
+            config.resolved_uio_length(table.n_state_variables),
+            config.uio_node_budget,
+        )
+    synchronizer = find_synchronizing_sequence(table)
+    sequence: list[int] = []
+    if synchronizer is not None:
+        sequence.extend(synchronizer)
+        current = synchronized_state(table, synchronizer)
+        used_sync = True
+    else:
+        if not assume_reset:
+            raise ValueError(
+                "machine has no synchronizing sequence and reset was not assumed"
+            )
+        current = 0
+        used_sync = False
+    start_state = current
+
+    n_cols = table.n_input_combinations
+    tested = [[False] * n_cols for _ in range(table.n_states)]
+    untested_count = [n_cols] * table.n_states
+    verified: set[tuple[int, int]] = set()
+    exercised: set[tuple[int, int]] = set()
+
+    def first_untested(state: int) -> int | None:
+        for combo in range(n_cols):
+            if not tested[state][combo]:
+                return combo
+        return None
+
+    def has_untested(state: int) -> bool:
+        return untested_count[state] > 0
+
+    while True:
+        if not has_untested(current):
+            transfer = find_transfer(table, current, has_untested, table.n_states)
+            if transfer is None:
+                break  # nothing with untested transitions is reachable
+            sequence.extend(transfer)
+            current = table.final_state(current, transfer)
+        combo = first_untested(current)
+        assert combo is not None
+        tested[current][combo] = True
+        untested_count[current] -= 1
+        sequence.append(combo)
+        next_state = int(table.next_state[current, combo])
+        uio = uio_table.get(next_state)
+        if uio is not None:
+            verified.add((current, combo))
+            sequence.extend(uio.inputs)
+            current = uio.final_state
+        else:
+            exercised.add((current, combo))
+            current = next_state
+
+    unreachable = frozenset(
+        (state, combo)
+        for state in range(table.n_states)
+        for combo in range(n_cols)
+        if not tested[state][combo]
+    )
+    return NonScanResult(
+        table.name,
+        tuple(sequence),
+        start_state,
+        used_sync,
+        frozenset(verified),
+        frozenset(exercised),
+        unreachable,
+        uio_table,
+    )

@@ -1,0 +1,135 @@
+"""Synchronizing and homing sequences for non-scan machines.
+
+A *synchronizing sequence* drives the machine into one known state from any
+initial state (no outputs consulted); a *homing sequence* lets the tester
+deduce the final state from the observed outputs.  Without scan these are
+the only ways to establish a known state, and neither is guaranteed to
+exist — the first structural advantage of full scan.
+
+Both searches are breadth-first over state-set "uncertainty" nodes with
+memoization and a node budget (the synchronizing-sequence decision problem
+is polynomial, but shortest sequences are NP-hard; budgets keep worst cases
+bounded the same way the UIO search is bounded).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SearchBudgetExceeded, StateTableError
+from repro.fsm.state_table import StateTable
+from repro.uio.search import DEFAULT_NODE_BUDGET, input_class_representatives
+
+__all__ = ["find_synchronizing_sequence", "find_homing_sequence"]
+
+
+def find_synchronizing_sequence(
+    table: StateTable,
+    max_length: int | None = None,
+    node_budget: int = DEFAULT_NODE_BUDGET,
+) -> tuple[int, ...] | None:
+    """Shortest input sequence driving every state to one state.
+
+    Returns ``None`` when no synchronizing sequence exists within
+    ``max_length`` (default ``n_states**2``, enough for any synchronizable
+    machine by the classic pairwise-merging bound).
+    """
+    if max_length is None:
+        max_length = table.n_states ** 2
+    representatives = input_class_representatives(table)
+    start = frozenset(range(table.n_states))
+    if len(start) == 1:
+        return ()
+    visited = {start}
+    frontier: list[tuple[frozenset[int], tuple[int, ...]]] = [(start, ())]
+    expanded = 0
+    for _depth in range(max_length):
+        next_frontier: list[tuple[frozenset[int], tuple[int, ...]]] = []
+        for states, prefix in frontier:
+            expanded += 1
+            if expanded > node_budget:
+                raise SearchBudgetExceeded(
+                    f"synchronizing search exceeded {node_budget} nodes",
+                    expanded,
+                )
+            for combo in representatives:
+                successors = frozenset(
+                    int(table.next_state[state, combo]) for state in states
+                )
+                sequence = prefix + (combo,)
+                if len(successors) == 1:
+                    return sequence
+                if successors not in visited:
+                    visited.add(successors)
+                    next_frontier.append((successors, sequence))
+        if not next_frontier:
+            return None
+        frontier = next_frontier
+    return None
+
+
+def find_homing_sequence(
+    table: StateTable,
+    max_length: int | None = None,
+    node_budget: int = DEFAULT_NODE_BUDGET,
+) -> tuple[int, ...] | None:
+    """Shortest preset homing sequence.
+
+    After applying it, the output response uniquely determines the final
+    state.  The node is the partition of still-possible current states by
+    observed output history, represented as a frozenset of state-sets; the
+    goal is every block being a singleton.  Every minimal (reduced) machine
+    has one; unreduced machines may not.
+    """
+    if max_length is None:
+        max_length = table.n_states ** 2
+    representatives = input_class_representatives(table)
+    start: frozenset[frozenset[int]] = frozenset([frozenset(range(table.n_states))])
+
+    def is_homed(partition: frozenset[frozenset[int]]) -> bool:
+        return all(len(block) == 1 for block in partition)
+
+    if is_homed(start):
+        return ()
+    visited = {start}
+    frontier: list[tuple[frozenset[frozenset[int]], tuple[int, ...]]] = [(start, ())]
+    expanded = 0
+    for _depth in range(max_length):
+        next_frontier: list[tuple[frozenset[frozenset[int]], tuple[int, ...]]] = []
+        for partition, prefix in frontier:
+            expanded += 1
+            if expanded > node_budget:
+                raise SearchBudgetExceeded(
+                    f"homing search exceeded {node_budget} nodes", expanded
+                )
+            for combo in representatives:
+                blocks: set[frozenset[int]] = set()
+                for block in partition:
+                    by_output: dict[int, set[int]] = {}
+                    for state in block:
+                        output = int(table.output[state, combo])
+                        by_output.setdefault(output, set()).add(
+                            int(table.next_state[state, combo])
+                        )
+                    for successors in by_output.values():
+                        blocks.add(frozenset(successors))
+                successor_partition = frozenset(blocks)
+                sequence = prefix + (combo,)
+                if is_homed(successor_partition):
+                    return sequence
+                if successor_partition not in visited:
+                    visited.add(successor_partition)
+                    next_frontier.append((successor_partition, sequence))
+        if not next_frontier:
+            return None
+        frontier = next_frontier
+    return None
+
+
+def synchronized_state(table: StateTable, sequence: tuple[int, ...]) -> int:
+    """The single state reached by ``sequence`` from every start state.
+
+    Raises :class:`StateTableError` when ``sequence`` does not synchronize.
+    """
+    finals = {table.final_state(state, sequence) for state in range(table.n_states)}
+    if len(finals) != 1:
+        raise StateTableError("sequence does not synchronize the machine")
+    return finals.pop()

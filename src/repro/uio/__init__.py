@@ -1,0 +1,36 @@
+"""Unique input-output, transfer, and distinguishing sequence search.
+
+A *unique input-output (UIO) sequence* for state ``s`` is an input sequence
+``D_s`` whose output response from ``s`` differs from the response of every
+other state: ``B(D_s, s) != B(D_s, s')`` for all ``s' != s``.  The paper uses
+UIO sequences to verify next states through the primary outputs instead of
+scanning them out, and *transfer sequences* to move the machine to a state
+that still has untested transitions.
+
+:mod:`repro.uio.partial` implements the paper's mentioned-but-unexplored
+option of covering a state with several short sequences that each distinguish
+it from a subset of the other states.
+"""
+
+from repro.uio.search import (
+    UioSequence,
+    UioTable,
+    compute_uio_table,
+    find_uio,
+    input_class_representatives,
+)
+from repro.uio.transfer import find_transfer, transfer_map
+from repro.uio.partial import PartialUioSet, compute_partial_uio_set, pairwise_distinguishing_sequence
+
+__all__ = [
+    "UioSequence",
+    "UioTable",
+    "compute_uio_table",
+    "find_uio",
+    "input_class_representatives",
+    "find_transfer",
+    "transfer_map",
+    "PartialUioSet",
+    "compute_partial_uio_set",
+    "pairwise_distinguishing_sequence",
+]

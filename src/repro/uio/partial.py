@@ -1,0 +1,156 @@
+"""Partial UIO sets — the paper's mentioned-but-unexplored option.
+
+    "For a state that does not have a unique input-output sequence, it is
+    possible to use a subset of sequences, with each sequence distinguishing
+    the state from a different subset of states.  We do not explore this
+    option here."  (Section 1)
+
+This module explores it.  For a state ``s`` without a full UIO we compute a
+set of short sequences that *jointly* distinguish ``s`` from every other
+state: each sequence is a shortest pairwise distinguishing sequence for some
+``(s, t)`` pair, and a greedy set cover keeps only sequences that distinguish
+states not yet covered.  The test generator can then verify a next state by
+applying the whole set (re-establishing ``s`` between sequences via scan),
+trading extra scan operations for functional observability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StateTableError
+from repro.fsm.state_table import StateTable
+from repro.uio.search import input_class_representatives
+
+__all__ = [
+    "PartialUioSet",
+    "pairwise_distinguishing_sequence",
+    "compute_partial_uio_set",
+]
+
+
+@dataclass(frozen=True)
+class PartialUioSet:
+    """Several sequences that jointly distinguish ``state`` from the rest.
+
+    ``covered`` maps each sequence to the frozenset of other states it
+    distinguishes ``state`` from.  ``complete`` is True when the union of
+    the covered sets is all other states — i.e. the set works as a
+    (multi-application) substitute for a UIO.
+    """
+
+    state: int
+    sequences: tuple[tuple[int, ...], ...]
+    covered: tuple[frozenset[int], ...]
+    complete: bool
+
+    @property
+    def total_length(self) -> int:
+        return sum(len(seq) for seq in self.sequences)
+
+
+def pairwise_distinguishing_sequence(
+    table: StateTable,
+    first: int,
+    second: int,
+    max_length: int | None = None,
+) -> tuple[int, ...] | None:
+    """Shortest input sequence separating the responses of two states.
+
+    Classic product breadth-first search over state pairs.  Returns ``None``
+    when the states are equivalent (no sequence of any length separates
+    them) or when nothing within ``max_length`` does.
+    """
+    if first == second:
+        raise StateTableError("states must differ")
+    for state in (first, second):
+        if not 0 <= state < table.n_states:
+            raise StateTableError(f"state {state} out of range")
+    if max_length is None:
+        # n*(n-1)/2 pairs bounds the BFS depth for inequivalent states.
+        max_length = table.n_states * (table.n_states - 1) // 2
+    nexts = np.asarray(table.next_state)
+    outs = np.asarray(table.output)
+    representatives = input_class_representatives(table)
+    start = (min(first, second), max(first, second))
+    visited = {start}
+    frontier: list[tuple[tuple[int, int], tuple[int, ...]]] = [(start, ())]
+    for _depth in range(max_length):
+        next_frontier: list[tuple[tuple[int, int], tuple[int, ...]]] = []
+        for (a, b), prefix in frontier:
+            for combo in representatives:
+                sequence = prefix + (combo,)
+                if outs[a, combo] != outs[b, combo]:
+                    return sequence
+                na, nb = int(nexts[a, combo]), int(nexts[b, combo])
+                if na == nb:
+                    continue  # merged: this branch can never distinguish
+                pair = (min(na, nb), max(na, nb))
+                if pair not in visited:
+                    visited.add(pair)
+                    next_frontier.append((pair, sequence))
+        if not next_frontier:
+            return None
+        frontier = next_frontier
+    return None
+
+
+def compute_partial_uio_set(
+    table: StateTable,
+    state: int,
+    max_length: int | None = None,
+) -> PartialUioSet:
+    """Greedy cover of all other states by pairwise distinguishing sequences.
+
+    Candidate sequences are the shortest pairwise distinguishing sequences
+    for every pair ``(state, t)``; each candidate's full distinguishing set
+    is evaluated against *all* other states, and candidates are kept
+    greedily by how many still-uncovered states they distinguish (ties to
+    shorter sequences, then discovery order).
+    """
+    if not 0 <= state < table.n_states:
+        raise StateTableError(f"state {state} out of range")
+    others = [t for t in range(table.n_states) if t != state]
+    if not others:
+        return PartialUioSet(state, (), (), True)
+    if max_length is None:
+        max_length = table.n_state_variables
+    candidates: list[tuple[tuple[int, ...], frozenset[int]]] = []
+    seen_sequences: set[tuple[int, ...]] = set()
+    for target in others:
+        sequence = pairwise_distinguishing_sequence(table, state, target, max_length)
+        if sequence is None or sequence in seen_sequences:
+            continue
+        seen_sequences.add(sequence)
+        reference = table.response(state, sequence)
+        covered = frozenset(
+            t for t in others if table.response(t, sequence) != reference
+        )
+        candidates.append((sequence, covered))
+    chosen: list[tuple[tuple[int, ...], frozenset[int]]] = []
+    uncovered = set(others)
+    while uncovered:
+        best = None
+        best_gain = 0
+        for sequence, covered in candidates:
+            gain = len(covered & uncovered)
+            if gain > best_gain or (
+                best is not None
+                and gain == best_gain
+                and gain > 0
+                and len(sequence) < len(best[0])
+            ):
+                best = (sequence, covered)
+                best_gain = gain
+        if best is None or best_gain == 0:
+            break  # remaining states are equivalent to `state`
+        chosen.append(best)
+        uncovered -= best[1]
+    return PartialUioSet(
+        state,
+        tuple(seq for seq, _ in chosen),
+        tuple(cov for _, cov in chosen),
+        complete=not uncovered,
+    )

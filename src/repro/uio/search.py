@@ -1,0 +1,228 @@
+"""Breadth-first search for unique input-output sequences.
+
+The search state ("node") is the pair ``(current, candidates)`` where
+``current`` is the position the target state ``s`` has reached, and
+``candidates`` is the set of positions reached by the other start states
+whose output responses have matched ``s``'s response so far.  Applying an
+input ``a``:
+
+* others whose output differs from ``current``'s output are *distinguished*
+  and leave the candidate set;
+* others producing the same output move to their next states;
+* if a surviving candidate lands on the same position as ``current``, its
+  future responses are identical to ``s``'s forever, so the node is a dead
+  end and is pruned.
+
+The goal is an empty candidate set.  Breadth-first order yields a shortest
+UIO; visited-set memoization keeps the search finite; a node-expansion budget
+bounds worst-case machines (UIO existence is NP-hard in general).
+
+Two input combinations whose next-state and output *columns* are identical
+over all states are interchangeable everywhere in the search, so only one
+representative per such input equivalence class is expanded
+(:func:`input_class_representatives`).  This matters for machines like
+``nucpwr`` with ``2**13`` input combinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.errors import SearchBudgetExceeded, StateTableError
+from repro.fsm.state_table import StateTable
+
+__all__ = [
+    "UioSequence",
+    "UioTable",
+    "find_uio",
+    "compute_uio_table",
+    "input_class_representatives",
+    "DEFAULT_NODE_BUDGET",
+]
+
+#: Node-expansion budget used when callers do not specify one.
+DEFAULT_NODE_BUDGET = 200_000
+
+
+@dataclass(frozen=True)
+class UioSequence:
+    """A unique input-output sequence ``D_s`` for ``state``.
+
+    ``final_state`` is where the machine ends up after applying ``inputs``
+    from ``state`` — the paper's "f.stat" column of Table 2.
+    """
+
+    state: int
+    inputs: tuple[int, ...]
+    final_state: int
+
+    @property
+    def length(self) -> int:
+        return len(self.inputs)
+
+
+@dataclass
+class UioTable:
+    """UIO sequences for all states of one machine (at most one per state).
+
+    ``budget_exhausted`` lists states whose search hit the node budget; for
+    those states absence of a sequence is *not* proven.
+    """
+
+    machine_name: str
+    max_length: int
+    sequences: dict[int, UioSequence] = field(default_factory=dict)
+    budget_exhausted: frozenset[int] = frozenset()
+
+    def get(self, state: int) -> UioSequence | None:
+        """The UIO for ``state`` or ``None`` when none was found."""
+        return self.sequences.get(state)
+
+    def has(self, state: int) -> bool:
+        return state in self.sequences
+
+    @property
+    def n_found(self) -> int:
+        """The paper's Table 4 "unique" column."""
+        return len(self.sequences)
+
+    @property
+    def max_found_length(self) -> int:
+        """The paper's Table 4 "m.len" column (0 when no state has a UIO)."""
+        if not self.sequences:
+            return 0
+        return max(seq.length for seq in self.sequences.values())
+
+    def __iter__(self) -> Iterator[UioSequence]:
+        return iter(self.sequences.values())
+
+    def verify(self, table: StateTable) -> None:
+        """Re-check every stored sequence against the machine definition.
+
+        Raises :class:`StateTableError` if any stored sequence fails the UIO
+        property; used by the test suite and available as a sanity hook.
+        """
+        for state, seq in self.sequences.items():
+            response = table.response(state, seq.inputs)
+            for other in range(table.n_states):
+                if other == state:
+                    continue
+                if table.response(other, seq.inputs) == response:
+                    raise StateTableError(
+                        f"stored sequence for state {state} does not "
+                        f"distinguish it from state {other}"
+                    )
+            if table.final_state(state, seq.inputs) != seq.final_state:
+                raise StateTableError(
+                    f"stored final state for state {state} is wrong"
+                )
+
+
+def input_class_representatives(table: StateTable) -> tuple[int, ...]:
+    """One input combination per (next-state column, output column) class.
+
+    Returned in increasing input order, so searches that iterate over the
+    representatives stay deterministic and prefer numerically small inputs —
+    the same tie-break the paper's examples use.
+    """
+    nexts = np.asarray(table.next_state)
+    outs = np.asarray(table.output)
+    seen: dict[bytes, int] = {}
+    reps: list[int] = []
+    for combo in range(table.n_input_combinations):
+        key = nexts[:, combo].tobytes() + outs[:, combo].tobytes()
+        if key not in seen:
+            seen[key] = combo
+            reps.append(combo)
+    return tuple(reps)
+
+
+def find_uio(
+    table: StateTable,
+    state: int,
+    max_length: int,
+    node_budget: int = DEFAULT_NODE_BUDGET,
+    representatives: tuple[int, ...] | None = None,
+) -> UioSequence | None:
+    """Shortest UIO of length at most ``max_length`` for ``state``.
+
+    Returns ``None`` when no such sequence exists within the length bound.
+    Raises :class:`SearchBudgetExceeded` when ``node_budget`` node
+    expansions were insufficient to settle the question.
+    """
+    if not 0 <= state < table.n_states:
+        raise StateTableError(f"state {state} out of range")
+    if max_length < 0:
+        raise StateTableError("max_length must be non-negative")
+    others = frozenset(t for t in range(table.n_states) if t != state)
+    if not others:
+        # A single-state machine: the empty sequence vacuously distinguishes.
+        return UioSequence(state, (), state)
+    if representatives is None:
+        representatives = input_class_representatives(table)
+    nexts = np.asarray(table.next_state)
+    outs = np.asarray(table.output)
+    visited: set[tuple[int, frozenset[int]]] = {(state, others)}
+    frontier: list[tuple[int, frozenset[int], tuple[int, ...]]] = [(state, others, ())]
+    expanded = 0
+    for _depth in range(max_length):
+        next_frontier: list[tuple[int, frozenset[int], tuple[int, ...]]] = []
+        for current, candidates, prefix in frontier:
+            expanded += 1
+            if expanded > node_budget:
+                raise SearchBudgetExceeded(
+                    f"UIO search for state {state} exceeded {node_budget} "
+                    "node expansions",
+                    expanded,
+                )
+            for combo in representatives:
+                out = outs[current, combo]
+                survivors = frozenset(
+                    int(nexts[t, combo]) for t in candidates if outs[t, combo] == out
+                )
+                sequence = prefix + (combo,)
+                if not survivors:
+                    return UioSequence(state, sequence, int(nexts[current, combo]))
+                nxt = int(nexts[current, combo])
+                if nxt in survivors:
+                    continue  # some other state merged with us: dead end
+                node = (nxt, survivors)
+                if node not in visited:
+                    visited.add(node)
+                    next_frontier.append((nxt, survivors, sequence))
+        if not next_frontier:
+            return None
+        frontier = next_frontier
+    return None
+
+
+def compute_uio_table(
+    table: StateTable,
+    max_length: int | None = None,
+    node_budget: int = DEFAULT_NODE_BUDGET,
+) -> UioTable:
+    """UIO sequences for every state of ``table`` (the paper's Table 2/4).
+
+    ``max_length`` defaults to the number of state variables ``N_SV`` — the
+    paper's default bound ``L <= N_SV``, chosen so that applying a UIO never
+    takes longer than a scan-out/scan-in pair.  States whose search hits the
+    node budget are recorded in :attr:`UioTable.budget_exhausted` and treated
+    as having no UIO.
+    """
+    if max_length is None:
+        max_length = table.n_state_variables
+    representatives = input_class_representatives(table)
+    sequences: dict[int, UioSequence] = {}
+    exhausted: set[int] = set()
+    for state in range(table.n_states):
+        try:
+            found = find_uio(table, state, max_length, node_budget, representatives)
+        except SearchBudgetExceeded:
+            exhausted.add(state)
+            continue
+        if found is not None:
+            sequences[state] = found
+    return UioTable(table.name, max_length, sequences, frozenset(exhausted))

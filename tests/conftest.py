@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks import load_circuit, load_kiss_machine
+from repro.core.config import GeneratorConfig
+from repro.core.generator import generate_tests
+from repro.fsm.builders import StateTableBuilder
+
+
+@pytest.fixture(scope="session")
+def lion():
+    """The paper's exact ``lion`` machine (Table 1)."""
+    return load_circuit("lion")
+
+
+@pytest.fixture(scope="session")
+def lion_kiss():
+    return load_kiss_machine("lion")
+
+
+@pytest.fixture(scope="session")
+def lion_result(lion):
+    """The paper's worked example: tests generated with default settings."""
+    return generate_tests(lion, GeneratorConfig())
+
+
+@pytest.fixture(scope="session")
+def shiftreg():
+    return load_circuit("shiftreg")
+
+
+@pytest.fixture()
+def toggle():
+    """A 2-state toggle machine: input 1 flips the state, output = state."""
+    builder = StateTableBuilder(n_inputs=1, n_outputs=1, name="toggle")
+    builder.add("off", 0, "off", 0)
+    builder.add("off", 1, "on", 0)
+    builder.add("on", 0, "on", 1)
+    builder.add("on", 1, "off", 1)
+    return builder.build()
+
+
+@pytest.fixture()
+def two_counter():
+    """A 4-state counter with carry output; every state has a UIO."""
+    builder = StateTableBuilder(n_inputs=1, n_outputs=2, name="counter2")
+    for value in range(4):
+        nxt = (value + 1) % 4
+        builder.add(f"c{value}", 1, f"c{nxt}", value)
+        builder.add(f"c{value}", 0, f"c{value}", value)
+    return builder.build()

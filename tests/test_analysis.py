@@ -1,0 +1,126 @@
+"""Unit tests for FSM structural analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StateTableError
+from repro.fsm.analysis import (
+    equivalence_classes,
+    equivalent_state_pairs,
+    has_equivalent_sibling,
+    is_strongly_connected,
+    machines_equivalent,
+    reachable_states,
+)
+from repro.fsm.builders import StateTableBuilder
+from repro.fsm.encoding import complete_to_power_of_two
+
+
+def machine_with_equivalent_pair():
+    """States b and c behave identically."""
+    builder = StateTableBuilder(1, 1)
+    builder.add("a", 0, "b", 0)
+    builder.add("a", 1, "c", 0)
+    builder.add("b", 0, "a", 1)
+    builder.add("b", 1, "b", 0)
+    builder.add("c", 0, "a", 1)
+    builder.add("c", 1, "c", 0)
+    return builder.build()
+
+
+def machine_with_sink():
+    """State 'trap' cannot reach the others."""
+    builder = StateTableBuilder(1, 1)
+    builder.add("a", 0, "trap", 0)
+    builder.add("a", 1, "a", 1)
+    builder.add("trap", 0, "trap", 0)
+    builder.add("trap", 1, "trap", 0)
+    return builder.build()
+
+
+class TestReachability:
+    def test_all_reachable(self, lion):
+        assert reachable_states(lion, 0) == frozenset(range(4))
+
+    def test_sink_limits_reachability(self):
+        table = machine_with_sink()
+        assert reachable_states(table, 1) == frozenset({1})
+
+    def test_start_included(self):
+        table = machine_with_sink()
+        assert 0 in reachable_states(table, 0)
+
+    def test_bad_start_raises(self, lion):
+        with pytest.raises(StateTableError):
+            reachable_states(lion, 9)
+
+
+class TestStrongConnectivity:
+    def test_lion_strongly_connected(self, lion):
+        assert is_strongly_connected(lion)
+
+    def test_sink_machine_not_strongly_connected(self):
+        assert not is_strongly_connected(machine_with_sink())
+
+    def test_completed_machine_not_strongly_connected(self):
+        """Fill states are unreachable, breaking strong connectivity."""
+        builder = StateTableBuilder(1, 1)
+        builder.add("a", 0, "b", 0)
+        builder.add("a", 1, "c", 1)
+        builder.add("b", 0, "c", 0)
+        builder.add("b", 1, "a", 1)
+        builder.add("c", 0, "a", 0)
+        builder.add("c", 1, "b", 1)
+        completed = complete_to_power_of_two(builder.build())
+        assert not is_strongly_connected(completed)
+
+
+class TestEquivalence:
+    def test_equivalent_pair_found(self):
+        table = machine_with_equivalent_pair()
+        assert (1, 2) in equivalent_state_pairs(table)
+
+    def test_lion_has_no_equivalent_states(self, lion):
+        assert equivalent_state_pairs(lion) == frozenset()
+
+    def test_classes_partition_states(self):
+        table = machine_with_equivalent_pair()
+        classes = equivalence_classes(table)
+        union = set()
+        for members in classes:
+            assert not union & members
+            union |= members
+        assert union == set(range(table.n_states))
+
+    def test_has_equivalent_sibling(self):
+        table = machine_with_equivalent_pair()
+        assert has_equivalent_sibling(table, 1)
+        assert not has_equivalent_sibling(table, 0)
+
+    def test_sibling_out_of_range(self, lion):
+        with pytest.raises(StateTableError):
+            has_equivalent_sibling(lion, 17)
+
+    def test_equivalent_states_have_no_uio(self):
+        """Cross-module invariant: an equivalent state can have no UIO."""
+        from repro.uio.search import find_uio
+
+        table = machine_with_equivalent_pair()
+        assert find_uio(table, 1, max_length=6) is None
+        assert find_uio(table, 2, max_length=6) is None
+
+
+class TestMachineEquivalence:
+    def test_machine_equivalent_to_itself(self, lion):
+        assert machines_equivalent(lion, lion)
+
+    def test_equivalent_states_as_starts(self):
+        table = machine_with_equivalent_pair()
+        assert machines_equivalent(table, table, 1, 2)
+
+    def test_inequivalent_starts(self, lion):
+        assert not machines_equivalent(lion, lion, 0, 1)
+
+    def test_width_mismatch(self, lion, toggle):
+        assert not machines_equivalent(lion, toggle)

@@ -1,0 +1,135 @@
+"""Unit tests for the gate-level stuck-at ATPG and the paper's remark."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchmarks import load_circuit, load_kiss_machine
+from repro.core.generator import generate_tests
+from repro.gatelevel.atpg import detection_words, generate_stuck_at_atpg
+from repro.gatelevel.bridging import enumerate_bridging_faults
+from repro.gatelevel.detectability import detectable_faults
+from repro.gatelevel.fault_sim import simulate_tests
+from repro.gatelevel.scan import ScanCircuit
+from repro.gatelevel.stuck_at import collapse_stuck_at
+from repro.gatelevel.synthesis import SynthesisOptions
+
+
+@pytest.fixture(scope="module", params=["lion", "bbtas", "dk512"])
+def setup(request):
+    name = request.param
+    table = load_circuit(name)
+    circuit = ScanCircuit.from_machine(
+        load_kiss_machine(name), SynthesisOptions(max_fanin=4)
+    )
+    faults = sorted(set(collapse_stuck_at(circuit.netlist).values()))
+    return name, table, circuit, faults
+
+
+class TestDetectionWords:
+    def test_agrees_with_detectability_oracle(self, setup):
+        _, table, circuit, faults = setup
+        words = detection_words(circuit.netlist, faults)
+        detectable, undetectable = detectable_faults(circuit.netlist, faults)
+        for fault in faults:
+            has_pattern = bool(np.any(words[fault]))
+            assert has_pattern == (fault in detectable)
+
+    def test_marked_patterns_really_detect(self, setup):
+        """Spot-check: a pattern flagged for a fault detects it as a
+        length-1 scan test in the sequential simulator."""
+        from repro.core.testset import ScanTest
+        from repro.gatelevel.fault_sim import detects
+        from repro.gatelevel.netlist import unpack_bits
+
+        _, table, circuit, faults = setup
+        pi = circuit.n_primary_inputs
+        words = detection_words(circuit.netlist, faults)
+        checked = 0
+        for fault in faults:
+            bits = unpack_bits(words[fault], 1 << (circuit.n_state_variables + pi))
+            hits = np.flatnonzero(bits)
+            if not hits.size:
+                continue
+            pattern = int(hits[0])
+            state, combo = pattern >> pi, pattern & ((1 << pi) - 1)
+            if state >= table.n_states:
+                continue
+            test = ScanTest(state, (combo,), int(table.next_state[state, combo]))
+            assert fault in detects(circuit, table, test, [fault])
+            checked += 1
+            if checked >= 10:
+                break
+        assert checked > 0
+
+
+class TestAtpg:
+    def test_full_stuck_at_coverage(self, setup):
+        _, table, circuit, faults = setup
+        result = generate_stuck_at_atpg(circuit, table, faults)
+        sim = simulate_tests(
+            circuit, table, result.test_set, list(result.target_faults)
+        )
+        assert sim.detected == frozenset(result.target_faults)
+
+    def test_test_count_bounds(self, setup):
+        _, table, circuit, faults = setup
+        result = generate_stuck_at_atpg(circuit, table, faults)
+        # Greedy cover: every chosen pattern detects >= 1 new fault, and
+        # there are only N_ST * N_PIC usable patterns.
+        assert 0 < result.n_tests <= len(result.target_faults)
+        assert result.n_tests <= table.n_transitions
+        assert all(test.length == 1 for test in result.test_set)
+
+    def test_deterministic(self, setup):
+        _, table, circuit, faults = setup
+        first = generate_stuck_at_atpg(circuit, table, faults)
+        second = generate_stuck_at_atpg(circuit, table, faults)
+        assert [t.inputs for t in first.test_set] == [
+            t.inputs for t in second.test_set
+        ]
+
+    def test_atpg_vs_functional_test_counts(self, setup):
+        """The paper says a gate-level ATPG "may" use fewer tests/cycles
+        than the functional set — a possibility, not a guarantee.  Measured
+        here: the ATPG always uses fewer *tests* (it targets faults, not
+        transitions), but on input-poor machines like dk512 (2 input
+        columns) its all-length-1 tests pay a scan per pattern and can cost
+        *more* cycles than the chained functional tests — the functional
+        approach's scan-sharing advantage, visible in our data."""
+        name, table, circuit, faults = setup
+        atpg = generate_stuck_at_atpg(circuit, table, faults)
+        functional = generate_tests(table)
+        assert atpg.n_tests <= functional.test_set.n_tests + table.n_transitions
+        if name == "dk512":
+            assert atpg.test_set.clock_cycles() > functional.clock_cycles()
+
+
+class TestPaperRemarkOnBridging:
+    def test_functional_tests_never_trail_atpg_on_bridging(self):
+        """The second half of the remark: stuck-at ATPG tests are *not
+        guaranteed* to detect all detectable bridging faults, while the
+        functional tests provably do (integration suite).  Measured:
+        functional bridging coverage >= ATPG bridging coverage on every
+        small circuit, with a strict gap allowed either way per circuit."""
+        for name in ("lion", "bbtas", "dk512", "beecount", "dk16"):
+            table = load_circuit(name)
+            circuit = ScanCircuit.from_machine(
+                load_kiss_machine(name), SynthesisOptions(max_fanin=4)
+            )
+            stuck = sorted(set(collapse_stuck_at(circuit.netlist).values()))
+            atpg = generate_stuck_at_atpg(circuit, table, stuck)
+            bridging = enumerate_bridging_faults(circuit.netlist, limit=200, seed=name)
+            if not bridging:
+                continue
+            bridge_detectable, _ = detectable_faults(circuit.netlist, bridging)
+            atpg_hits = simulate_tests(
+                circuit, table, atpg.test_set, sorted(bridge_detectable, key=repr)
+            )
+            functional = generate_tests(table).test_set
+            functional_hits = simulate_tests(
+                circuit, table, functional, sorted(bridge_detectable, key=repr)
+            )
+            assert functional_hits.detected == frozenset(bridge_detectable)
+            assert len(atpg_hits.detected) <= len(functional_hits.detected)

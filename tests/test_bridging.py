@@ -1,0 +1,109 @@
+"""Unit tests for bridging fault enumeration (the paper's three conditions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultSimulationError
+from repro.gatelevel.bridging import (
+    BridgeKind,
+    BridgingFault,
+    enumerate_bridging_faults,
+)
+from repro.gatelevel.netlist import GateType, Netlist
+
+
+def two_cone_netlist():
+    """Two independent cones whose AND outputs qualify for bridging."""
+    netlist = Netlist()
+    a = netlist.add_input()
+    b = netlist.add_input()
+    c = netlist.add_input()
+    d = netlist.add_input()
+    t1 = netlist.add_gate(GateType.AND, (a, b))    # 4
+    t2 = netlist.add_gate(GateType.AND, (c, d))    # 5
+    y1 = netlist.add_gate(GateType.NOT, (t1,))     # 6 consumer of t1
+    y2 = netlist.add_gate(GateType.NOT, (t2,))     # 7 consumer of t2
+    netlist.set_outputs([y1, y2])
+    return netlist, t1, t2
+
+
+class TestConditions:
+    def test_qualifying_pair_found(self):
+        netlist, t1, t2 = two_cone_netlist()
+        faults = enumerate_bridging_faults(netlist)
+        pairs = {(f.line1, f.line2) for f in faults}
+        assert pairs == {(t1, t2)}
+        kinds = {f.kind for f in faults}
+        assert kinds == {BridgeKind.AND, BridgeKind.OR}
+
+    def test_common_consumer_excluded(self):
+        netlist = Netlist()
+        a, b, c, d = (netlist.add_input() for _ in range(4))
+        t1 = netlist.add_gate(GateType.AND, (a, b))
+        t2 = netlist.add_gate(GateType.AND, (c, d))
+        joint = netlist.add_gate(GateType.OR, (t1, t2))  # common consumer
+        netlist.set_outputs([joint])
+        assert enumerate_bridging_faults(netlist) == []
+
+    def test_path_between_lines_excluded(self):
+        netlist = Netlist()
+        a, b, c = (netlist.add_input() for _ in range(3))
+        t1 = netlist.add_gate(GateType.AND, (a, b))
+        t2 = netlist.add_gate(GateType.AND, (t1, c))  # t1 -> t2 path
+        y1 = netlist.add_gate(GateType.NOT, (t1,))
+        y2 = netlist.add_gate(GateType.NOT, (t2,))
+        netlist.set_outputs([y1, y2])
+        assert enumerate_bridging_faults(netlist) == []
+
+    def test_single_input_gates_excluded(self):
+        netlist = Netlist()
+        a = netlist.add_input()
+        n1 = netlist.add_gate(GateType.NOT, (a,))
+        n2 = netlist.add_gate(GateType.NOT, (n1,))
+        netlist.set_outputs([n2])
+        assert enumerate_bridging_faults(netlist) == []
+
+    def test_lines_without_consumers_excluded(self):
+        netlist, t1, t2 = two_cone_netlist()
+        # add a dangling multi-input gate feeding nothing
+        extra = netlist.add_gate(GateType.OR, (0, 1))
+        netlist.set_outputs(list(netlist.outputs) + [extra])
+        faults = enumerate_bridging_faults(netlist)
+        assert all(extra not in (f.line1, f.line2) for f in faults)
+
+
+class TestSampling:
+    def test_limit_respected(self):
+        from repro.benchmarks import load_kiss_machine
+        from repro.gatelevel.synthesis import SynthesisOptions, synthesize
+
+        netlist = synthesize(
+            load_kiss_machine("bbtas"), SynthesisOptions(max_fanin=2)
+        ).netlist
+        full = enumerate_bridging_faults(netlist)
+        limited = enumerate_bridging_faults(netlist, limit=10)
+        assert len(limited) == 20  # 10 pairs, two kinds each
+        assert set(limited) <= set(full)
+
+    def test_sampling_deterministic(self):
+        from repro.benchmarks import load_kiss_machine
+        from repro.gatelevel.synthesis import SynthesisOptions, synthesize
+
+        netlist = synthesize(
+            load_kiss_machine("bbtas"), SynthesisOptions(max_fanin=2)
+        ).netlist
+        first = enumerate_bridging_faults(netlist, limit=25, seed="s")
+        second = enumerate_bridging_faults(netlist, limit=25, seed="s")
+        assert first == second
+        third = enumerate_bridging_faults(netlist, limit=25, seed="t")
+        assert first != third
+
+
+class TestBridgingFault:
+    def test_order_enforced(self):
+        with pytest.raises(FaultSimulationError):
+            BridgingFault(5, 3, BridgeKind.AND)
+
+    def test_site_label(self):
+        assert BridgingFault(3, 5, BridgeKind.OR).site() == "bridge-or(g3, g5)"

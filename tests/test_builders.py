@@ -1,0 +1,125 @@
+"""Unit tests for programmatic and random machine construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IncompleteMachineError, StateTableError
+from repro.fsm.builders import (
+    StateTableBuilder,
+    random_cube_machine,
+    random_state_table,
+)
+
+
+class TestStateTableBuilder:
+    def test_basic_build(self, toggle):
+        assert toggle.n_states == 2
+        assert toggle.step(0, 1) == (1, 0)
+        assert toggle.step(1, 0) == (1, 1)
+
+    def test_states_numbered_in_first_use_order(self):
+        builder = StateTableBuilder(1, 1)
+        builder.add("z", 0, "a", 0)
+        builder.add("z", 1, "z", 0)
+        builder.add("a", 0, "z", 1)
+        builder.add("a", 1, "a", 1)
+        table = builder.build()
+        assert table.state_names == ("z", "a")
+
+    def test_bit_iterables_accepted(self):
+        builder = StateTableBuilder(2, 2)
+        builder.add("a", (0, 1), "a", (1, 0))
+        builder.add("a", 0, "a", 0)
+        builder.add("a", 2, "a", 0)
+        builder.add("a", 3, "a", 0)
+        table = builder.build()
+        assert table.step(0, 0b01) == (0, 0b10)
+
+    def test_conflicting_redefinition_rejected(self):
+        builder = StateTableBuilder(1, 1)
+        builder.add("a", 0, "a", 0)
+        with pytest.raises(StateTableError, match="conflicting"):
+            builder.add("a", 0, "a", 1)
+
+    def test_identical_redefinition_tolerated(self):
+        builder = StateTableBuilder(1, 1)
+        builder.add("a", 0, "a", 0)
+        builder.add("a", 0, "a", 0)
+        builder.add("a", 1, "a", 0)
+        assert builder.build().n_states == 1
+
+    def test_incomplete_raises(self):
+        builder = StateTableBuilder(1, 1)
+        builder.add("a", 0, "b", 0)
+        builder.add("b", 0, "a", 0)
+        builder.add("b", 1, "b", 0)
+        with pytest.raises(IncompleteMachineError):
+            builder.build()
+
+    def test_fill_unspecified(self):
+        builder = StateTableBuilder(1, 1)
+        builder.add("a", 0, "b", 1)
+        builder.add("b", 0, "a", 0)
+        builder.add("b", 1, "b", 0)
+        table = builder.build(fill_unspecified=True)
+        assert table.step(0, 1) == (0, 0)
+
+    def test_add_row(self):
+        builder = StateTableBuilder(1, 1)
+        builder.add_row("a", {0: ("a", 0), 1: ("b", 1)})
+        builder.add_row("b", {0: ("a", 1), 1: ("b", 0)})
+        assert builder.build().n_states == 2
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(StateTableError):
+            StateTableBuilder(1, 1).build()
+
+    def test_out_of_range_combination_rejected(self):
+        builder = StateTableBuilder(1, 1)
+        with pytest.raises(StateTableError):
+            builder.add("a", 2, "a", 0)
+
+
+class TestRandomCubeMachine:
+    def test_deterministic_in_seed(self):
+        first = random_cube_machine(3, 8, 2, seed="x")
+        second = random_cube_machine(3, 8, 2, seed="x")
+        assert first.to_state_table() == second.to_state_table()
+
+    def test_different_seeds_differ(self):
+        first = random_cube_machine(3, 8, 2, seed="x")
+        second = random_cube_machine(3, 8, 2, seed="y")
+        assert first.to_state_table() != second.to_state_table()
+
+    def test_completely_specified(self):
+        table = random_state_table(4, 8, 2, seed=7)
+        assert table.n_states == 8
+        assert table.n_input_combinations == 16
+
+    def test_cube_structure_is_partition(self):
+        """Per-state cubes never overlap and jointly cover the input space."""
+        machine = random_cube_machine(4, 6, 2, seed=3)
+        from repro.fsm.kiss import expand_cube
+
+        per_state: dict[str, list[int]] = {}
+        for row in machine.rows:
+            per_state.setdefault(row.present, []).extend(expand_cube(row.input_cube))
+        for state, combos in per_state.items():
+            assert sorted(combos) == list(range(16)), state
+
+    def test_zero_bias_forces_zero_outputs(self):
+        machine = random_cube_machine(2, 4, 3, seed=1, output_zero_bias=1.0)
+        assert all(row.output_cube == "000" for row in machine.rows)
+
+    def test_bias_out_of_range_rejected(self):
+        with pytest.raises(StateTableError):
+            random_cube_machine(2, 4, 1, seed=0, output_zero_bias=1.5)
+
+    def test_zero_outputs_machine(self):
+        table = random_state_table(2, 4, 0, seed=5)
+        assert table.n_outputs == 0
+
+    def test_single_input_variable(self):
+        table = random_state_table(1, 4, 1, seed=5)
+        assert table.n_input_combinations == 2

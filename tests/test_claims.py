@@ -1,0 +1,82 @@
+"""Tests for the reproduction-certificate checker and CSV rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.harness.claims import ClaimResult, render_claims, verify_claims
+from repro.harness.tables import format_csv
+
+
+class TestVerifyClaims:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return verify_claims(["lion", "shiftreg"])
+
+    def test_all_claims_pass_on_exact_machines(self, results):
+        assert all(result.passed for result in results), [
+            result.claim for result in results if not result.passed
+        ]
+
+    def test_claim_ids_are_unique(self, results):
+        ids = [result.claim for result in results]
+        assert len(set(ids)) == len(ids)
+
+    def test_all_expected_claims_present(self, results):
+        ids = {result.claim for result in results}
+        assert {
+            "worked-example",
+            "complete-coverage",
+            "test-economy",
+            "stuck-at-complete",
+            "bridging-complete",
+            "effective-subset",
+            "cycle-budget",
+            "no-transfer-budget",
+            "scan-advantage",
+            "at-speed-advantage",
+        } <= ids
+
+    def test_render_contains_verdicts(self, results):
+        text = render_claims(results)
+        assert "PASS" in text
+        assert "worked-example" in text
+
+    def test_render_fail_path(self):
+        text = render_claims(
+            [ClaimResult("x", "a fake failing claim", False, "boom")]
+        )
+        assert "FAIL" in text
+
+
+class TestClaimsCli:
+    def test_claims_command_exit_zero(self, capsys):
+        assert main(["claims", "--circuits", "lion"]) == 0
+        out = capsys.readouterr().out
+        assert "worked-example" in out
+
+
+class TestCsvRendering:
+    def test_format_csv_basic(self):
+        text = format_csv(("a", "b"), [("x", 1.5), ("y,z", 2)])
+        lines = text.splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "x,1.50"
+        assert lines[2] == '"y,z",2'
+
+    def test_format_csv_width_check(self):
+        with pytest.raises(ValueError):
+            format_csv(("a", "b"), [("only",)])
+
+    def test_render_csv_table5(self):
+        from repro.harness.experiments import render, table5
+
+        text = render(5, table5(["lion"]), csv=True)
+        assert text.splitlines()[0] == "circuit,trans,tests,len,1len,time"
+        assert text.splitlines()[1].startswith("lion,16,9,28,25.00")
+
+    def test_cli_csv_flag(self, capsys):
+        assert main(["table4", "--circuits", "lion", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert "circuit,pi,states,unique,sv,m.len,time" in out

@@ -1,0 +1,109 @@
+"""Tests of the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "lion"])
+        assert args.circuit == "lion"
+        assert args.uio_length is None
+        assert args.transfer_length == 1
+        assert args.show_tests
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "lion"]) == 0
+        out = capsys.readouterr().out
+        assert "lion" in out
+        assert "exact" in out
+        assert "transitions       16" in out
+
+    def test_generate_prints_tests_and_stats(self, capsys):
+        assert main(["generate", "lion", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "# 9 tests, total length 28" in out
+        assert "96.00% of per-transition baseline" in out
+        assert "strict coverage: complete" in out
+        assert "(0, (0,0,1), 1)" in out
+
+    def test_generate_no_tests_flag(self, capsys):
+        assert main(["generate", "lion", "--no-tests"]) == 0
+        out = capsys.readouterr().out
+        assert "(0, (0,0,1), 1)" not in out
+
+    def test_generate_transfer_length_zero(self, capsys):
+        assert main(["generate", "shiftreg", "--transfer-length", "0"]) == 0
+        assert "tests" in capsys.readouterr().out
+
+    def test_table2_command(self, capsys):
+        assert main(["table2", "lion"]) == 0
+        out = capsys.readouterr().out
+        assert "00 11" in out
+
+    def test_table5_with_circuit_list(self, capsys):
+        assert main(["table5", "--circuits", "lion,shiftreg"]) == 0
+        out = capsys.readouterr().out
+        assert "lion" in out and "shiftreg" in out
+
+    def test_table4_small_tier(self, capsys):
+        assert main(["table4", "--tier", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "bbtas" in out
+
+    def test_table9_custom_circuit(self, capsys):
+        assert main(["table9", "--circuits", "dk512"]) == 0
+        out = capsys.readouterr().out
+        assert "dk512" in out
+
+    def test_unknown_circuit_raises(self):
+        from repro.errors import BenchmarkError
+
+        with pytest.raises(BenchmarkError):
+            main(["info", "bogus"])
+
+    def test_max_fanin_zero_means_unbounded(self, capsys):
+        assert main(["table5", "--circuits", "lion", "--max-fanin", "0"]) == 0
+
+
+class TestNewSubcommands:
+    def test_export_json_stdout(self, capsys):
+        assert main(["export", "lion"]) == 0
+        out = capsys.readouterr().out
+        assert '"format": "repro-scan-tests"' in out
+
+    def test_export_vectors_to_file(self, tmp_path, capsys):
+        target = tmp_path / "lion.vec"
+        assert main(["export", "lion", "--format", "vectors", "-o", str(target)]) == 0
+        text = target.read_text()
+        assert "scan-in  00" in text
+        assert "wrote 9 tests" in capsys.readouterr().out
+
+    def test_export_roundtrip(self, tmp_path):
+        from repro.core.export import test_set_from_json
+
+        target = tmp_path / "lion.json"
+        assert main(["export", "lion", "-o", str(target)]) == 0
+        test_set = test_set_from_json(target.read_text())
+        assert test_set.n_tests == 9
+
+    def test_nonscan_command(self, capsys):
+        assert main(["nonscan", "lion"]) == 0
+        out = capsys.readouterr().out
+        assert "verified          43.75%" in out
+        assert "100.00% verified" in out
+
+    def test_delay_command(self, capsys):
+        assert main(["delay", "lion"]) == 0
+        out = capsys.readouterr().out
+        assert "0.00% coverage" in out
+        assert "at-speed pairs" in out

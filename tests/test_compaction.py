@@ -1,0 +1,118 @@
+"""Unit tests for effective-test selection and test combining."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baseline import per_transition_tests
+from repro.core.compaction import combine_tests, select_effective_tests
+from repro.core.coverage import verify_test_set
+from repro.core.generator import generate_tests
+from repro.errors import GenerationError
+
+
+def fake_simulator(detection_map):
+    """simulate(test, remaining) driven by {inputs: faults} lookup."""
+
+    def simulate(test, remaining):
+        return set(detection_map.get(test.inputs, ())) & set(remaining)
+
+    return simulate
+
+
+class TestSelectEffective:
+    def test_longest_first_order(self, lion_result):
+        selection = select_effective_tests(
+            lion_result.test_set, lambda t, r: set(), ["f1"]
+        )
+        lengths = [test.length for test, _, _ in selection.rows]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_effective_flag_tracks_new_detections(self, lion_result):
+        tests = lion_result.test_set
+        longest = tests.by_decreasing_length()[0]
+        second = tests.by_decreasing_length()[1]
+        mapping = {longest.inputs: {"a"}, second.inputs: {"a"}}
+        selection = select_effective_tests(
+            tests, fake_simulator(mapping), {"a"}
+        )
+        assert selection.n_effective == 1
+        assert selection.effective.tests[0] is longest
+
+    def test_undetectable_faults_never_simulated(self, lion_result):
+        calls = []
+
+        def simulate(test, remaining):
+            calls.append(set(remaining))
+            return set()
+
+        select_effective_tests(
+            lion_result.test_set, simulate, {"a", "dead"}, stop_when_exhausted={"dead"}
+        )
+        assert all("dead" not in remaining for remaining in calls)
+
+    def test_skips_simulation_once_exhausted(self, lion_result):
+        calls = []
+        longest = lion_result.test_set.by_decreasing_length()[0]
+
+        def simulate(test, remaining):
+            calls.append(test)
+            return {"a"}
+
+        selection = select_effective_tests(
+            lion_result.test_set, simulate, {"a"}
+        )
+        assert calls == [longest]
+        assert selection.coverage_pct == 100.0
+
+    def test_rows_cover_all_tests(self, lion_result):
+        selection = select_effective_tests(
+            lion_result.test_set, lambda t, r: set(), {"a"}
+        )
+        assert len(selection.rows) == lion_result.n_tests
+
+    def test_simulator_reporting_foreign_faults_rejected(self, lion_result):
+        with pytest.raises(GenerationError):
+            select_effective_tests(
+                lion_result.test_set, lambda t, r: {"other"}, {"a"}
+            )
+
+    def test_empty_universe(self, lion_result):
+        selection = select_effective_tests(
+            lion_result.test_set, lambda t, r: set(), ()
+        )
+        assert selection.n_effective == 0
+        assert selection.coverage_pct == 100.0
+
+
+class TestCombineTests:
+    def test_unconstrained_combination_chains_matching_endpoints(self, lion):
+        baseline = per_transition_tests(lion)
+        combined = combine_tests(baseline)
+        assert combined.n_tests < baseline.n_tests
+        # Total applied vectors never change; only scans disappear.
+        assert combined.total_length == baseline.total_length
+        for test in combined:
+            test.check_consistency(lion)
+
+    def test_combination_reduces_clock_cycles(self, lion):
+        baseline = per_transition_tests(lion)
+        combined = combine_tests(baseline)
+        assert combined.clock_cycles() < baseline.clock_cycles()
+
+    def test_strict_evaluator_blocks_coverage_loss(self, lion):
+        baseline = per_transition_tests(lion)
+
+        def coverage(test_set):
+            return len(verify_test_set(lion, test_set).verified)
+
+        combined = combine_tests(baseline, evaluate=coverage)
+        assert coverage(combined) == coverage(baseline)
+
+    def test_generated_tests_combinable(self, lion, lion_result):
+        combined = combine_tests(lion_result.test_set)
+        assert combined.n_tests <= lion_result.n_tests
+        report = verify_test_set(lion, combined)
+        assert report.exercised >= verify_test_set(
+            lion, lion_result.test_set
+        ).exercised

@@ -1,0 +1,117 @@
+"""Unit tests for the transition-delay fault model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks import load_circuit, load_kiss_machine
+from repro.core.baseline import per_transition_tests
+from repro.core.generator import generate_tests
+from repro.errors import FaultSimulationError
+from repro.gatelevel.delay import (
+    TransitionDelayFault,
+    enumerate_transition_delay_faults,
+    simulate_delay_faults,
+)
+from repro.gatelevel.scan import ScanCircuit
+from repro.gatelevel.synthesis import SynthesisOptions
+
+
+@pytest.fixture(scope="module")
+def lion_circuit(request):
+    table = load_circuit("lion")
+    circuit = ScanCircuit.from_machine(
+        load_kiss_machine("lion"), SynthesisOptions(max_fanin=4)
+    )
+    return table, circuit
+
+
+class TestEnumeration:
+    def test_two_faults_per_line(self, lion_circuit):
+        _, circuit = lion_circuit
+        faults = enumerate_transition_delay_faults(circuit.netlist)
+        lines = {fault.line for fault in faults}
+        assert len(faults) == 2 * len(lines)
+        assert all(
+            TransitionDelayFault(line, False) in faults
+            and TransitionDelayFault(line, True) in faults
+            for line in lines
+        )
+
+    def test_site_labels(self):
+        assert TransitionDelayFault(4, True).site() == "g4/str"
+        assert TransitionDelayFault(4, False).site() == "g4/stf"
+
+
+class TestBaselineHasNoAtSpeedCoverage:
+    def test_length_one_tests_detect_nothing(self, lion_circuit):
+        """The paper's motivation: separate per-transition tests are never
+        at speed, so transition-delay coverage is exactly zero."""
+        table, circuit = lion_circuit
+        baseline = per_transition_tests(table)
+        result = simulate_delay_faults(circuit, table, baseline)
+        assert result.n_at_speed_pairs == 0
+        assert not result.detected
+        assert result.coverage_pct == 0.0
+
+
+class TestChainedTestsDetectDelayFaults:
+    def test_functional_tests_provide_pairs_and_coverage(self, lion_circuit):
+        table, circuit = lion_circuit
+        tests = generate_tests(table).test_set
+        result = simulate_delay_faults(circuit, table, tests)
+        # Σ (length - 1) over τ0..τ8 = 28 - 9 = 19 launch/capture pairs.
+        assert result.n_at_speed_pairs == 19
+        assert result.detected  # strictly better than the baseline's zero
+        assert 0.0 < result.coverage_pct <= 100.0
+
+    def test_longer_chains_never_hurt(self, lion_circuit):
+        """Adding tests can only grow the detected set."""
+        table, circuit = lion_circuit
+        tests = list(generate_tests(table).test_set)
+        partial = simulate_delay_faults(circuit, table, tests[:3])
+        full = simulate_delay_faults(circuit, table, tests)
+        assert partial.detected <= full.detected
+
+    def test_detection_requires_launch(self, lion_circuit):
+        """A fault on a line that never toggles in the right direction
+        during any at-speed pair stays undetected."""
+        table, circuit = lion_circuit
+        tests = generate_tests(table).test_set
+        result = simulate_delay_faults(circuit, table, tests)
+        # verify consistency: detected + undetected = universe
+        universe = set(enumerate_transition_delay_faults(circuit.netlist))
+        assert set(result.detected) | set(result.undetected) == universe
+        assert not set(result.detected) & set(result.undetected)
+
+    def test_explicit_fault_subset(self, lion_circuit):
+        table, circuit = lion_circuit
+        tests = generate_tests(table).test_set
+        some = enumerate_transition_delay_faults(circuit.netlist)[:6]
+        result = simulate_delay_faults(circuit, table, tests, some)
+        assert result.n_faults == 6
+
+    def test_bad_fault_line_rejected(self, lion_circuit):
+        table, circuit = lion_circuit
+        tests = generate_tests(table).test_set
+        with pytest.raises(FaultSimulationError):
+            simulate_delay_faults(
+                circuit, table, tests, [TransitionDelayFault(9999, True)]
+            )
+
+
+class TestAcrossCircuits:
+    @pytest.mark.parametrize("name", ["bbtas", "dk512", "beecount"])
+    def test_chained_beats_baseline_everywhere(self, name):
+        table = load_circuit(name)
+        circuit = ScanCircuit.from_machine(
+            load_kiss_machine(name), SynthesisOptions(max_fanin=4)
+        )
+        chained = simulate_delay_faults(
+            circuit, table, generate_tests(table).test_set
+        )
+        baseline = simulate_delay_faults(
+            circuit, table, per_transition_tests(table)
+        )
+        assert baseline.coverage_pct == 0.0
+        assert chained.coverage_pct > baseline.coverage_pct

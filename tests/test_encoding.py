@@ -1,0 +1,111 @@
+"""Unit tests for state encoding and power-of-two completion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EncodingError
+from repro.fsm.builders import StateTableBuilder
+from repro.fsm.encoding import (
+    StateEncoding,
+    complete_to_power_of_two,
+    natural_encoding,
+)
+
+
+def three_state_machine():
+    builder = StateTableBuilder(n_inputs=1, n_outputs=1, name="three")
+    builder.add("a", 0, "a", 0)
+    builder.add("a", 1, "b", 1)
+    builder.add("b", 0, "c", 0)
+    builder.add("b", 1, "a", 1)
+    builder.add("c", 0, "c", 1)
+    builder.add("c", 1, "b", 0)
+    return builder.build()
+
+
+class TestStateEncoding:
+    def test_encode_decode_roundtrip(self):
+        encoding = StateEncoding(2, (0, 1, 2))
+        for state in range(3):
+            assert encoding.decode(encoding.encode(state)) == state
+
+    def test_encode_bits_msb_first(self):
+        encoding = StateEncoding(3, (0b101,))
+        assert encoding.encode_bits(0) == (1, 0, 1)
+
+    def test_duplicate_codes_rejected(self):
+        with pytest.raises(EncodingError):
+            StateEncoding(2, (1, 1))
+
+    def test_code_overflow_rejected(self):
+        with pytest.raises(EncodingError):
+            StateEncoding(1, (2,))
+
+    def test_unknown_code_decode_raises(self):
+        with pytest.raises(EncodingError):
+            StateEncoding(2, (0, 1)).decode(3)
+
+    def test_out_of_range_state_raises(self):
+        with pytest.raises(EncodingError):
+            StateEncoding(2, (0, 1)).encode(5)
+
+    def test_is_complete(self):
+        assert StateEncoding(1, (0, 1)).is_complete()
+        assert not StateEncoding(2, (0, 1)).is_complete()
+
+
+class TestNaturalEncoding:
+    def test_identity_codes(self):
+        table = three_state_machine()
+        encoding = natural_encoding(table)
+        assert encoding.codes == (0, 1, 2)
+        assert encoding.width == 2
+
+
+class TestCompletion:
+    def test_adds_states_to_power_of_two(self):
+        table = three_state_machine()
+        completed = complete_to_power_of_two(table)
+        assert completed.n_states == 4
+        assert completed.state_names[3] == "unused0"
+
+    def test_fill_states_go_to_reset_with_zero_output(self):
+        completed = complete_to_power_of_two(three_state_machine())
+        for combo in range(2):
+            assert completed.step(3, combo) == (0, 0)
+
+    def test_original_behaviour_preserved(self):
+        table = three_state_machine()
+        completed = complete_to_power_of_two(table)
+        for state in range(3):
+            for combo in range(2):
+                assert completed.step(state, combo) == table.step(state, combo)
+
+    def test_power_of_two_machines_returned_unchanged(self, lion):
+        assert complete_to_power_of_two(lion) is lion
+
+    def test_custom_sink(self):
+        completed = complete_to_power_of_two(
+            three_state_machine(), unused_next_state=2, unused_output=1
+        )
+        assert completed.step(3, 0) == (2, 1)
+
+    def test_bad_sink_rejected(self):
+        with pytest.raises(EncodingError):
+            complete_to_power_of_two(three_state_machine(), unused_next_state=9)
+
+    def test_completed_machine_fill_states_are_equivalent(self):
+        """Multiple fill states must be pairwise equivalent (no UIOs)."""
+        from repro.fsm.analysis import equivalent_state_pairs
+
+        builder = StateTableBuilder(n_inputs=1, n_outputs=1)
+        builder.add("a", 0, "a", 0)
+        builder.add("a", 1, "b", 1)
+        builder.add("b", 0, "a", 1)
+        builder.add("b", 1, "b", 0)
+        five = complete_to_power_of_two(
+            StateTableBuilder.build(builder)
+        )
+        assert five.n_states == 2  # already a power of two: unchanged

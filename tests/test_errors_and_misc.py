@@ -1,0 +1,76 @@
+"""Tests for the error hierarchy, timing helpers, and package surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import errors
+from repro.harness.runtime import Stopwatch, stopwatch
+
+
+class TestErrorHierarchy:
+    ALL = [
+        errors.StateTableError,
+        errors.KissFormatError,
+        errors.IncompleteMachineError,
+        errors.EncodingError,
+        errors.SearchBudgetExceeded,
+        errors.GenerationError,
+        errors.NetlistError,
+        errors.SynthesisError,
+        errors.FaultSimulationError,
+        errors.BenchmarkError,
+    ]
+
+    def test_all_derive_from_repro_error(self):
+        for klass in self.ALL:
+            assert issubclass(klass, errors.ReproError)
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.NetlistError("boom")
+
+    def test_budget_error_carries_count(self):
+        error = errors.SearchBudgetExceeded("stopped", nodes_expanded=42)
+        assert error.nodes_expanded == 42
+        assert "stopped" in str(error)
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        with stopwatch() as clock:
+            total = sum(range(10000))
+        assert total == 49995000
+        assert clock.elapsed_s >= 0.0
+
+    def test_elapsed_set_even_on_exception(self):
+        clock_holder = []
+        with pytest.raises(RuntimeError):
+            with stopwatch() as clock:
+                clock_holder.append(clock)
+                raise RuntimeError("x")
+        assert clock_holder[0].elapsed_s >= 0.0
+
+    def test_repr(self):
+        assert "Stopwatch" in repr(Stopwatch())
+
+
+class TestPackageSurface:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_public_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_docstring_quickstart_is_true(self):
+        """The numbers in the package docstring must stay correct."""
+        result = repro.generate_tests(repro.load_circuit("lion"))
+        assert (result.n_tests, result.total_length) == (9, 28)
+
+    def test_main_module_importable(self):
+        import importlib.util
+
+        spec = importlib.util.find_spec("repro.__main__")
+        assert spec is not None

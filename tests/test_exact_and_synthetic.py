@@ -1,0 +1,86 @@
+"""Tests for the exact machine builders and the synthetic stand-in factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks.exact import EXACT_BUILDERS, LION_KISS, lion_machine, shiftreg_machine
+from repro.benchmarks.synthetic import OUTPUT_ZERO_BIAS, synthetic_machine
+from repro.errors import BenchmarkError
+from repro.fsm.analysis import equivalent_state_pairs
+
+
+class TestExactBuilders:
+    def test_registry_contains_both(self):
+        assert set(EXACT_BUILDERS) == {"lion", "shiftreg"}
+
+    def test_lion_kiss_has_sixteen_rows(self):
+        machine = lion_machine()
+        assert len(machine.rows) == 16
+        assert machine.n_inputs == 2
+        assert machine.n_outputs == 1
+        assert machine.reset_state == "st0"
+
+    def test_lion_kiss_text_matches_machine(self):
+        assert ".p 16" in LION_KISS
+        assert "00 st2 st2 1" in LION_KISS
+
+    def test_shiftreg_rows_follow_shift_semantics(self):
+        machine = shiftreg_machine()
+        table = machine.to_state_table()
+        for value in range(8):
+            for bit in range(2):
+                assert table.step(value, bit) == (
+                    ((value << 1) | bit) & 0b111,
+                    (value >> 2) & 1,
+                )
+
+    def test_builders_return_fresh_objects(self):
+        assert lion_machine() is not lion_machine()
+
+
+class TestSyntheticFactory:
+    def test_fill_states_appended_after_core(self):
+        machine = synthetic_machine("t", 2, 8, 5, 2, cubes_per_state=3)
+        names = machine.state_names()
+        assert len(names) == 8
+        assert names[5:] == ["fill5", "fill6", "fill7"]
+
+    def test_fill_states_are_mutually_equivalent(self):
+        machine = synthetic_machine("t", 2, 8, 5, 2, cubes_per_state=3)
+        table = machine.to_state_table()
+        pairs = equivalent_state_pairs(table)
+        assert (5, 6) in pairs and (6, 7) in pairs and (5, 7) in pairs
+
+    def test_no_fill_states_when_core_is_full(self):
+        machine = synthetic_machine("t", 2, 8, 8, 2, cubes_per_state=3)
+        assert machine.n_states == 8
+        assert not any(name.startswith("fill") for name in machine.state_names())
+
+    def test_core_bounds_validated(self):
+        with pytest.raises(BenchmarkError):
+            synthetic_machine("t", 2, 8, 0, 2, cubes_per_state=3)
+        with pytest.raises(BenchmarkError):
+            synthetic_machine("t", 2, 8, 9, 2, cubes_per_state=3)
+
+    def test_deterministic_in_name(self):
+        first = synthetic_machine("alpha", 3, 8, 6, 2, cubes_per_state=4)
+        second = synthetic_machine("alpha", 3, 8, 6, 2, cubes_per_state=4)
+        assert first.to_state_table() == second.to_state_table()
+        third = synthetic_machine("beta", 3, 8, 6, 2, cubes_per_state=4)
+        assert first.to_state_table() != third.to_state_table()
+
+    def test_zero_bias_is_substantial(self):
+        """The documented bias constant must actually bias: a large share
+        of generated cubes carry all-zero outputs."""
+        machine = synthetic_machine("bias-probe", 3, 16, 16, 4, cubes_per_state=5)
+        zero_rows = sum(
+            1 for row in machine.rows if set(row.output_cube) == {"0"}
+        )
+        share = zero_rows / len(machine.rows)
+        assert share >= OUTPUT_ZERO_BIAS / 2  # statistical, generous margin
+
+    def test_completely_specified(self):
+        machine = synthetic_machine("t", 3, 8, 6, 2, cubes_per_state=4)
+        table = machine.to_state_table()  # raises if any entry is missing
+        assert table.n_input_combinations == 8

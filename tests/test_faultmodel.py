@@ -1,0 +1,104 @@
+"""Unit tests for explicit state-transition fault simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.faultmodel import (
+    StateTransitionFault,
+    apply_fault,
+    enumerate_transition_faults,
+    sample_faults,
+    simulate_functional_faults,
+)
+from repro.core.generator import generate_tests
+from repro.errors import FaultSimulationError
+
+
+class TestApplyFault:
+    def test_single_entry_rewritten(self, lion):
+        fault = StateTransitionFault(0, 0b00, 3, 1)
+        faulty = apply_fault(lion, fault)
+        assert faulty.step(0, 0b00) == (3, 1)
+        # every other entry untouched
+        for state in range(4):
+            for combo in range(4):
+                if (state, combo) != (0, 0b00):
+                    assert faulty.step(state, combo) == lion.step(state, combo)
+
+    def test_original_untouched(self, lion):
+        apply_fault(lion, StateTransitionFault(0, 0, 3, 1))
+        assert lion.step(0, 0) == (0, 0)
+
+    def test_invalid_next_state_rejected(self, lion):
+        with pytest.raises(FaultSimulationError):
+            apply_fault(lion, StateTransitionFault(0, 0, 9, 0))
+
+    def test_invalid_output_rejected(self, lion):
+        with pytest.raises(FaultSimulationError):
+            apply_fault(lion, StateTransitionFault(0, 0, 0, 4))
+
+
+class TestEnumerateAndSample:
+    def test_enumeration_count(self, lion):
+        faults = list(enumerate_transition_faults(lion, 0, 0))
+        # N_ST * 2**N_PO - 1 = 4*2 - 1
+        assert len(faults) == 7
+
+    def test_enumeration_excludes_noop(self, lion):
+        for fault in enumerate_transition_faults(lion, 1, 2):
+            assert not fault.is_noop_for(lion)
+
+    def test_sampling_reproducible(self, lion):
+        assert sample_faults(lion, 10, seed=1) == sample_faults(lion, 10, seed=1)
+
+    def test_sampling_no_noops_or_duplicates(self, lion):
+        faults = sample_faults(lion, 25, seed=2)
+        assert len(set(faults)) == len(faults)
+        assert all(not fault.is_noop_for(lion) for fault in faults)
+
+    def test_negative_sample_count_rejected(self, lion):
+        with pytest.raises(FaultSimulationError):
+            sample_faults(lion, -1)
+
+
+class TestSimulation:
+    def test_next_state_fault_on_scan_out_verified_transition(self, lion, lion_result):
+        # τ8 = (3, (11), 3): corrupting 3 --11--> 3 must be caught by scan-out.
+        fault = StateTransitionFault(3, 0b11, 0, 1)
+        result = simulate_functional_faults(lion, lion_result.test_set, [fault])
+        assert fault in result.detected
+
+    def test_output_fault_detected_at_po(self, lion, lion_result):
+        fault = StateTransitionFault(0, 0b00, 0, 1)  # wrong output only
+        result = simulate_functional_faults(lion, lion_result.test_set, [fault])
+        assert fault in result.detected
+
+    def test_full_enumeration_on_lion_has_high_coverage(self, lion, lion_result):
+        """The paper's caveat: coverage of explicit ST faults can dip below
+        100% when a fault corrupts the UIO responses a test relies on, but
+        this should be rare.  On lion it does not happen at all."""
+        faults = [
+            fault
+            for state in range(4)
+            for combo in range(4)
+            for fault in enumerate_transition_faults(lion, state, combo)
+        ]
+        result = simulate_functional_faults(lion, lion_result.test_set, faults)
+        assert result.n_faults == 16 * 7
+        assert result.coverage_pct == 100.0
+
+    def test_noop_fault_rejected(self, lion, lion_result):
+        with pytest.raises(FaultSimulationError):
+            simulate_functional_faults(
+                lion, lion_result.test_set, [StateTransitionFault(0, 0, 0, 0)]
+            )
+
+    def test_sampled_faults_on_synthetic_circuit(self):
+        from repro.benchmarks import load_circuit
+
+        table = load_circuit("dk512")
+        tests = generate_tests(table).test_set
+        faults = sample_faults(table, 60, seed="dk512")
+        result = simulate_functional_faults(table, tests, faults)
+        assert result.coverage_pct >= 95.0

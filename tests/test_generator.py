@@ -1,0 +1,162 @@
+"""Behavioural tests of the test generation procedure on many machines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks import circuit_names, load_circuit
+from repro.core.config import GeneratorConfig
+from repro.core.coverage import verify_test_set
+from repro.core.generator import generate_tests
+from repro.core.testset import SegmentKind
+from repro.errors import GenerationError
+
+SMALL = sorted(circuit_names("small"))
+
+
+class TestInvariantsAcrossCircuits:
+    @pytest.mark.parametrize("name", SMALL)
+    def test_every_transition_covered_and_verified(self, name):
+        table = load_circuit(name)
+        result = generate_tests(table)
+        report = verify_test_set(table, result.test_set)
+        assert report.is_complete, report.missing
+
+    @pytest.mark.parametrize("name", SMALL)
+    def test_fewer_tests_than_transitions(self, name):
+        table = load_circuit(name)
+        result = generate_tests(table)
+        assert result.n_tests <= table.n_transitions
+
+    @pytest.mark.parametrize("name", SMALL)
+    def test_each_transition_credited_exactly_once(self, name):
+        table = load_circuit(name)
+        result = generate_tests(table)
+        credited = [key for test in result.test_set for key in test.tested]
+        assert len(credited) == table.n_transitions
+        assert len(set(credited)) == table.n_transitions
+
+    @pytest.mark.parametrize("name", SMALL)
+    def test_tests_structurally_consistent(self, name):
+        table = load_circuit(name)
+        result = generate_tests(table)
+        for test in result.test_set:
+            test.check_consistency(table)
+
+    @pytest.mark.parametrize("name", ["bbtas", "dk512", "lion", "train11"])
+    def test_deterministic(self, name):
+        table = load_circuit(name)
+        first = generate_tests(table)
+        second = generate_tests(table)
+        assert [t.inputs for t in first.test_set] == [t.inputs for t in second.test_set]
+
+
+class TestTransferBound:
+    def test_no_transfer_mode_has_no_transfer_segments(self):
+        table = load_circuit("dk27")
+        config = GeneratorConfig(max_transfer_length=0)
+        result = generate_tests(table, config)
+        kinds = {
+            segment.kind for test in result.test_set for segment in test.segments
+        }
+        assert SegmentKind.TRANSFER not in kinds
+        assert verify_test_set(table, result.test_set).is_complete
+
+    def test_no_transfer_needs_at_least_as_many_tests(self):
+        """Table 8's message: dropping transfers shortens chains."""
+        table = load_circuit("dk27")
+        with_transfer = generate_tests(table, GeneratorConfig(max_transfer_length=1))
+        without = generate_tests(table, GeneratorConfig(max_transfer_length=0))
+        assert without.n_tests >= with_transfer.n_tests
+        assert without.total_length <= with_transfer.total_length
+
+    def test_longer_transfer_bound_accepted(self):
+        table = load_circuit("bbtas")
+        result = generate_tests(table, GeneratorConfig(max_transfer_length=2))
+        assert verify_test_set(table, result.test_set).is_complete
+
+
+class TestUioBound:
+    def test_zero_length_gives_per_transition_tests(self, lion):
+        result = generate_tests(lion, GeneratorConfig(max_uio_length=0))
+        assert result.n_tests == lion.n_transitions
+        assert all(test.length == 1 for test in result.test_set)
+
+    def test_longer_bound_never_loses_coverage(self, lion):
+        for bound in range(0, 5):
+            result = generate_tests(lion, GeneratorConfig(max_uio_length=bound))
+            assert verify_test_set(lion, result.test_set).is_complete
+
+    def test_uio_count_monotone_in_bound(self, lion):
+        from repro.uio.search import compute_uio_table
+
+        found = [compute_uio_table(lion, bound).n_found for bound in range(4)]
+        assert found == sorted(found)
+
+
+class TestPostponeRule:
+    def test_postpone_off_still_covers(self, lion):
+        config = GeneratorConfig(postpone_no_uio_starts=False)
+        result = generate_tests(lion, config)
+        assert verify_test_set(lion, result.test_set).is_complete
+
+    def test_postpone_on_defers_uio_less_starts(self, lion):
+        """With the rule on, no first-pass test starts with a transition to a
+        UIO-less state unless nothing else remains (the paper's τ5..τ8)."""
+        result = generate_tests(lion)
+        # τ2 starts with 1 --11--> 0 whose next state 0 HAS a UIO; the four
+        # length-1 leftovers all end in state 3 (no UIO).
+        leftovers = [t for t in result.test_set if t.length == 1]
+        assert len(leftovers) == 4
+        assert all(t.final_state == 3 for t in leftovers)
+
+
+class TestScanRatio:
+    def test_ratio_scales_scan_contribution(self, lion_result):
+        cycles_1 = lion_result.test_set.clock_cycles(scan_ratio=1)
+        cycles_3 = lion_result.test_set.clock_cycles(scan_ratio=3)
+        scan_part = lion_result.test_set.n_state_variables * (
+            lion_result.n_tests + 1
+        )
+        assert cycles_3 - cycles_1 == 2 * scan_part
+
+    def test_bad_ratio_rejected(self, lion_result):
+        with pytest.raises(GenerationError):
+            lion_result.test_set.clock_cycles(scan_ratio=0)
+
+
+class TestIncidentalCredit:
+    def test_incidental_mode_still_covers_everything(self):
+        table = load_circuit("dk512")
+        config = GeneratorConfig(credit_incidental=True)
+        result = generate_tests(table, config)
+        exercised = result.test_set.covered_transitions() | set(
+            result.incidental_credits
+        )
+        assert len(exercised) == table.n_transitions
+
+    def test_incidental_reduces_or_equals_test_count(self):
+        table = load_circuit("dk512")
+        plain = generate_tests(table)
+        credited = generate_tests(table, GeneratorConfig(credit_incidental=True))
+        assert credited.n_tests <= plain.n_tests
+
+    def test_incidental_credits_reported(self):
+        table = load_circuit("dk512")
+        result = generate_tests(table, GeneratorConfig(credit_incidental=True))
+        # The strict checker treats incidental credits as exercised-only.
+        report = verify_test_set(table, result.test_set)
+        assert set(result.incidental_credits) <= report.exercised
+
+
+class TestSingleStateMachine:
+    def test_one_state_machine(self):
+        from repro.fsm.builders import StateTableBuilder
+
+        builder = StateTableBuilder(1, 1)
+        builder.add("only", 0, "only", 0)
+        builder.add("only", 1, "only", 1)
+        table = builder.build()
+        result = generate_tests(table)
+        report = verify_test_set(table, result.test_set)
+        assert report.is_complete

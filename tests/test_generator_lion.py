@@ -1,0 +1,69 @@
+"""The paper's worked example, pinned test by test (Section 2).
+
+These tests are the strongest reproduction evidence in the suite: the
+generator must emit exactly the nine tests τ0…τ8 the paper derives by hand
+for ``lion``, in order, and the summary statistics must match Tables 5
+and 7.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coverage import verify_test_set
+
+# The paper writes inputs as bit strings x1x2; integers here are MSB-first.
+TAU = [
+    (0, (0b00, 0b00, 0b01), 1),                                     # τ0
+    (0, (0b10, 0b00, 0b11, 0b00, 0b01, 0b00), 1),                   # τ1
+    (1, (0b11, 0b00, 0b01, 0b01), 1),                               # τ2
+    (2, (0b00, 0b00, 0b11, 0b00), 1),                               # τ3
+    (2, (0b01, 0b00, 0b11, 0b01, 0b00, 0b11, 0b10), 3),             # τ4
+    (1, (0b10,), 3),                                                # τ5
+    (2, (0b10,), 3),                                                # τ6
+    (2, (0b11,), 3),                                                # τ7
+    (3, (0b11,), 3),                                                # τ8
+]
+
+
+class TestWorkedExample:
+    def test_exact_tests_in_order(self, lion_result):
+        got = [
+            (t.initial_state, t.inputs, t.final_state)
+            for t in lion_result.test_set
+        ]
+        assert got == TAU
+
+    def test_summary_statistics_match_table5(self, lion_result):
+        assert lion_result.n_tests == 9
+        assert lion_result.total_length == 28
+        assert lion_result.pct_length_one == pytest.approx(25.00)
+
+    def test_clock_cycles_match_table7(self, lion_result):
+        assert lion_result.clock_cycles() == 48
+        assert lion_result.cycles_pct_of_baseline() == pytest.approx(96.00)
+
+    def test_every_transition_credited_once(self, lion_result):
+        tested = [key for t in lion_result.test_set for key in t.tested]
+        assert len(tested) == 16
+        assert len(set(tested)) == 16
+
+    def test_strict_coverage_complete(self, lion, lion_result):
+        report = verify_test_set(lion, lion_result.test_set)
+        assert report.is_complete
+        assert report.missing == frozenset()
+
+    def test_first_test_transitions(self, lion_result):
+        # τ0 considers 0 --00--> 0 and 0 --01--> 1 (the paper's narrative).
+        assert lion_result.test_set.tests[0].tested == ((0, 0b00), (0, 0b01))
+
+    def test_tau4_covers_three_transitions(self, lion_result):
+        assert lion_result.test_set.tests[4].tested == (
+            (2, 0b01),
+            (3, 0b01),
+            (3, 0b10),
+        )
+
+    def test_final_states_consistent(self, lion, lion_result):
+        for test in lion_result.test_set:
+            assert lion.final_state(test.initial_state, test.inputs) == test.final_state

@@ -1,0 +1,80 @@
+"""End-to-end integration tests: the paper's claims on real benchmarks.
+
+These run the full pipeline — machine, UIO table, test generation, two-level
+synthesis with fanin bounding, collapsed stuck-at and sampled bridging fault
+universes, exhaustive detectability, effective-test selection — on the small
+tier, asserting the paper's qualitative results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks import circuit_names
+from repro.harness.experiments import StudyOptions, get_study
+
+SMALL = sorted(circuit_names("small"))
+
+
+@pytest.fixture(scope="module", params=SMALL)
+def study(request):
+    return get_study(request.param, StudyOptions(bridging_pair_limit=200))
+
+
+class TestPaperClaims:
+    def test_all_detectable_stuck_at_detected(self, study):
+        """Table 6's headline: complete coverage of detectable stuck-at
+        faults on every benchmark (<100% rows are redundant faults only)."""
+        detectable, _ = study.stuck_at_detectability
+        assert study.stuck_at_selection.detected == frozenset(detectable)
+
+    def test_all_detectable_bridging_detected(self, study):
+        detectable, _ = study.bridging_detectability
+        assert study.bridging_selection.detected == frozenset(detectable)
+
+    def test_effective_subset_keeps_full_coverage(self, study):
+        """Re-simulating only the effective tests finds the same faults —
+        dropping ineffective tests loses nothing (Tables 3 and 6)."""
+        from repro.gatelevel.fault_sim import simulate_tests
+
+        selection = study.stuck_at_selection
+        assert selection.n_effective <= study.generation.n_tests
+        replay = simulate_tests(
+            study.scan_circuit,
+            study.table,
+            selection.effective,
+            sorted(selection.detected),
+        )
+        assert replay.detected == selection.detected
+
+    def test_effective_cycles_below_functional_cycles(self, study):
+        functional = study.generation.clock_cycles()
+        effective = study.stuck_at_selection.effective.clock_cycles()
+        assert effective <= functional
+
+    def test_functional_cycles_shape_vs_baseline(self, study):
+        """Table 7's shape: the chained tests cost at most a whisker more
+        than the per-transition baseline, usually less (the paper's worst
+        case is 102.99%)."""
+        assert study.generation.cycles_pct_of_baseline() <= 110.0
+
+    def test_gate_level_agrees_with_table(self, study):
+        study.scan_circuit.verify_against(study.table)
+
+    def test_uio_table_is_sound(self, study):
+        study.uio_table.verify(study.table)
+
+
+class TestFunctionalFaultBridge:
+    """Functional (state-transition) faults vs gate-level detection."""
+
+    @pytest.mark.parametrize("name", ["lion", "bbtas", "dk27"])
+    def test_sampled_st_faults_mostly_detected(self, name):
+        from repro.core.faultmodel import sample_faults, simulate_functional_faults
+
+        study = get_study(name)
+        faults = sample_faults(study.table, 40, seed=name)
+        result = simulate_functional_faults(
+            study.table, study.generation.test_set, faults
+        )
+        assert result.coverage_pct >= 95.0

@@ -1,0 +1,160 @@
+"""Unit tests for the KISS2 parser/writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IncompleteMachineError, KissFormatError
+from repro.fsm.kiss import (
+    KissMachine,
+    KissRow,
+    expand_cube,
+    parse_kiss,
+    table_to_kiss,
+    write_kiss,
+)
+
+SIMPLE = """\
+.i 1
+.o 1
+.s 2
+.p 4
+.r off
+0 off off 0
+1 off on 1
+0 on on 1
+1 on off 0
+.e
+"""
+
+
+class TestParse:
+    def test_roundtrip_counts(self):
+        machine = parse_kiss(SIMPLE, name="simple")
+        assert machine.n_inputs == 1
+        assert machine.n_outputs == 1
+        assert machine.n_states == 2
+        assert machine.reset_state == "off"
+        assert len(machine.rows) == 4
+
+    def test_state_names_reset_first(self):
+        text = SIMPLE.replace(".r off", ".r on")
+        machine = parse_kiss(text)
+        assert machine.state_names()[0] == "on"
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# heading\n\n" + SIMPLE.replace(".e", "# trailing\n.e")
+        assert parse_kiss(text).n_states == 2
+
+    def test_unknown_directives_tolerated(self):
+        text = SIMPLE.replace(".i 1", ".i 1\n.ilb x0")
+        assert parse_kiss(text).n_inputs == 1
+
+    def test_missing_header_raises(self):
+        with pytest.raises(KissFormatError, match="missing"):
+            parse_kiss("0 a b 0\n")
+
+    def test_wrong_field_count_raises(self):
+        with pytest.raises(KissFormatError, match="4 fields"):
+            parse_kiss(".i 1\n.o 1\n0 a b\n")
+
+    def test_product_count_mismatch_raises(self):
+        with pytest.raises(KissFormatError, match="declares"):
+            parse_kiss(".i 1\n.o 1\n.p 7\n0 a b 0\n")
+
+    def test_state_count_overflow_raises(self):
+        with pytest.raises(KissFormatError, match="states"):
+            parse_kiss(".i 1\n.o 1\n.s 1\n0 a b 0\n1 a a 0\n")
+
+    def test_bad_cube_characters_raise(self):
+        with pytest.raises(KissFormatError, match="cube"):
+            parse_kiss(".i 1\n.o 1\n2 a b 0\n")
+
+    def test_everything_after_dot_e_ignored(self):
+        text = SIMPLE + "garbage that is not kiss\n"
+        assert parse_kiss(text).n_states == 2
+
+
+class TestExpandCube:
+    def test_fully_specified(self):
+        assert list(expand_cube("10")) == [0b10]
+
+    def test_single_dash(self):
+        assert sorted(expand_cube("1-")) == [0b10, 0b11]
+
+    def test_all_dashes(self):
+        assert sorted(expand_cube("--")) == [0, 1, 2, 3]
+
+    def test_empty_cube(self):
+        assert list(expand_cube("")) == [0]
+
+
+class TestToStateTable:
+    def test_simple_machine(self):
+        table = parse_kiss(SIMPLE).to_state_table()
+        assert table.step(0, 0) == (0, 0)
+        assert table.step(0, 1) == (1, 1)
+        assert table.step(1, 1) == (0, 0)
+
+    def test_cube_expansion(self):
+        text = ".i 2\n.o 1\n- - a a 0\n".replace("- -", "--")
+        table = parse_kiss(text).to_state_table()
+        assert table.n_states == 1
+        assert all(table.step(0, c) == (0, 0) for c in range(4))
+
+    def test_dont_care_output_resolves_to_zero(self):
+        text = ".i 1\n.o 2\n- a a -1\n"
+        table = parse_kiss(text).to_state_table()
+        assert table.step(0, 0) == (0, 0b01)
+
+    def test_conflicting_rows_raise(self):
+        text = ".i 1\n.o 1\n0 a a 0\n0 a b 0\n1 a a 0\n1 b b 0\n0 b b 0\n"
+        with pytest.raises(KissFormatError, match="conflicting"):
+            parse_kiss(text).to_state_table()
+
+    def test_unspecified_entries_raise_by_default(self):
+        text = ".i 1\n.o 1\n0 a a 0\n"
+        with pytest.raises(IncompleteMachineError):
+            parse_kiss(text).to_state_table()
+
+    def test_fill_unspecified_goes_to_reset(self):
+        text = ".i 1\n.o 1\n.r a\n0 a b 1\n0 b b 1\n"
+        table = parse_kiss(text).to_state_table(fill_unspecified=True)
+        assert table.step(0, 1) == (0, 0)
+        assert table.step(1, 1) == (0, 0)
+
+    def test_star_present_state(self):
+        text = ".i 1\n.o 1\n.r a\n0 a a 0\n0 b a 0\n1 * a 1\n"
+        table = parse_kiss(text).to_state_table()
+        assert table.step(0, 1) == (0, 1)
+        assert table.step(1, 1) == (0, 1)
+
+    def test_width_mismatch_raises(self):
+        text = ".i 2\n.o 1\n0 a a 0\n"
+        with pytest.raises(KissFormatError, match="width"):
+            parse_kiss(text).to_state_table()
+
+
+class TestWrite:
+    def test_roundtrip(self):
+        machine = parse_kiss(SIMPLE, name="simple")
+        again = parse_kiss(write_kiss(machine), name="simple")
+        assert again.to_state_table() == machine.to_state_table()
+
+    def test_table_to_kiss_roundtrip(self, lion):
+        machine = table_to_kiss(lion)
+        assert machine.to_state_table() == lion
+        assert len(machine.rows) == lion.n_transitions
+
+    def test_write_contains_headers(self):
+        text = write_kiss(parse_kiss(SIMPLE))
+        assert ".i 1" in text and ".p 4" in text and text.endswith(".e\n")
+
+
+class TestKissRowValidation:
+    def test_bad_cube_rejected(self):
+        with pytest.raises(KissFormatError):
+            KissRow("0x", "a", "b", "1")
+
+    def test_str_format(self):
+        assert str(KissRow("0-", "a", "b", "1")) == "0- a b 1"

@@ -1,0 +1,152 @@
+"""Additional property-based tests: export, schedule, non-scan, delay."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import export
+from repro.core.baseline import per_transition_tests
+from repro.core.generator import generate_tests
+from repro.core.schedule import TestSchedule
+from repro.fsm.state_table import StateTable
+from repro.nonscan.generator import generate_nonscan_sequence
+from repro.nonscan.synchronizing import (
+    find_homing_sequence,
+    find_synchronizing_sequence,
+)
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def state_tables(draw, max_states=6, max_inputs=2, max_outputs=2):
+    n_states = draw(st.integers(1, max_states))
+    n_inputs = draw(st.integers(0, max_inputs))
+    n_outputs = draw(st.integers(0, max_outputs))
+    n_cols = 1 << n_inputs
+    next_state = draw(
+        st.lists(
+            st.lists(st.integers(0, n_states - 1), min_size=n_cols, max_size=n_cols),
+            min_size=n_states,
+            max_size=n_states,
+        )
+    )
+    output = draw(
+        st.lists(
+            st.lists(
+                st.integers(0, (1 << n_outputs) - 1),
+                min_size=n_cols,
+                max_size=n_cols,
+            ),
+            min_size=n_states,
+            max_size=n_states,
+        )
+    )
+    return StateTable(
+        np.array(next_state, dtype=np.int32),
+        np.array(output, dtype=np.int64),
+        n_inputs,
+        n_outputs,
+        name="random",
+    )
+
+
+class TestExportProperties:
+    @SETTINGS
+    @given(state_tables())
+    def test_json_roundtrip_lossless(self, table):
+        original = generate_tests(table).test_set
+        again = export.test_set_from_json(export.test_set_to_json(original))
+        assert again.tests == original.tests
+        assert again.n_transitions == original.n_transitions
+
+    @SETTINGS
+    @given(state_tables())
+    def test_vectors_agree_with_machine(self, table):
+        tests = generate_tests(table).test_set
+        text = export.test_set_to_vectors(tests, table)
+        assert text.count("scan-in") == tests.n_tests
+
+
+class TestScheduleProperties:
+    @SETTINGS
+    @given(state_tables(), st.integers(1, 4))
+    def test_total_cycles_equal_formula(self, table, ratio):
+        tests = generate_tests(table).test_set
+        schedule = TestSchedule.from_test_set(tests, ratio)
+        assert schedule.total_cycles == tests.clock_cycles(ratio)
+
+    @SETTINGS
+    @given(state_tables())
+    def test_events_contiguous_and_ordered(self, table):
+        tests = generate_tests(table).test_set
+        schedule = TestSchedule.from_test_set(tests)
+        clock = 0
+        for event in schedule:
+            assert event.start == clock
+            clock = event.end
+
+    @SETTINGS
+    @given(state_tables())
+    def test_baseline_schedule_scan_dominated(self, table):
+        baseline = per_transition_tests(table)
+        schedule = TestSchedule.from_test_set(baseline)
+        assert schedule.functional_cycles == baseline.n_tests
+        assert schedule.n_scan_operations == baseline.n_tests + 1
+
+
+class TestNonScanProperties:
+    @SETTINGS
+    @given(state_tables())
+    def test_partition_of_transitions(self, table):
+        result = generate_nonscan_sequence(table)
+        total = (
+            len(result.verified)
+            + len(result.exercised_only)
+            + len(result.unreachable)
+        )
+        assert total == table.n_transitions
+        assert not result.verified & result.exercised_only
+        assert not result.verified & result.unreachable
+
+    @SETTINGS
+    @given(state_tables())
+    def test_sequence_is_applicable(self, table):
+        result = generate_nonscan_sequence(table)
+        table.run(result.start_state, result.sequence)  # must not raise
+
+    @SETTINGS
+    @given(state_tables())
+    def test_verified_transitions_really_have_uios(self, table):
+        result = generate_nonscan_sequence(table)
+        for state, combo in result.verified:
+            next_state = int(table.next_state[state, combo])
+            assert result.uio_table.has(next_state)
+
+    @SETTINGS
+    @given(state_tables(max_states=5))
+    def test_synchronizing_sequence_synchronizes(self, table):
+        sequence = find_synchronizing_sequence(table)
+        if sequence is not None:
+            finals = {
+                table.final_state(state, sequence)
+                for state in range(table.n_states)
+            }
+            assert len(finals) == 1
+
+    @SETTINGS
+    @given(state_tables(max_states=5))
+    def test_homing_sequence_homes(self, table):
+        sequence = find_homing_sequence(table)
+        if sequence is None:
+            return
+        by_output: dict[tuple[int, ...], set[int]] = {}
+        for state in range(table.n_states):
+            final, outputs = table.run(state, sequence)
+            by_output.setdefault(outputs, set()).add(final)
+        assert all(len(finals) == 1 for finals in by_output.values())

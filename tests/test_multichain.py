@@ -1,0 +1,60 @@
+"""Tests of the multi-chain extension of the clock-cycle model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baseline import per_transition_tests
+from repro.errors import GenerationError
+
+
+class TestMultiChainCycles:
+    def test_single_chain_is_the_paper_model(self, lion_result):
+        assert lion_result.test_set.clock_cycles(n_chains=1) == 48
+
+    def test_chains_shrink_scan_contribution(self, lion_result):
+        # lion: sv=2, two chains -> one shift per scan operation.
+        two_chain = lion_result.test_set.clock_cycles(n_chains=2)
+        assert two_chain == 1 * (9 + 1) + 28
+
+    def test_more_chains_than_bits_saturate(self, lion_result):
+        assert lion_result.test_set.clock_cycles(
+            n_chains=2
+        ) == lion_result.test_set.clock_cycles(n_chains=99)
+
+    def test_ceil_division(self):
+        from repro.benchmarks import load_circuit
+        from repro.core.generator import generate_tests
+
+        table = load_circuit("bbtas")  # sv = 3
+        tests = generate_tests(table).test_set
+        # 2 chains -> ceil(3/2) = 2 shifts per scan.
+        expected = 2 * (tests.n_tests + 1) + tests.total_length
+        assert tests.clock_cycles(n_chains=2) == expected
+
+    def test_monotone_in_chain_count(self, lion_result):
+        cycles = [
+            lion_result.test_set.clock_cycles(n_chains=n) for n in (1, 2, 3, 4)
+        ]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_combined_with_scan_ratio(self, lion_result):
+        # ratio applies to the per-chain shift depth.
+        assert lion_result.test_set.clock_cycles(scan_ratio=3, n_chains=2) == (
+            3 * 1 * 10 + 28
+        )
+
+    def test_percentage_uses_same_chain_count(self, lion):
+        baseline = per_transition_tests(lion)
+        assert baseline.cycles_pct_of_baseline(n_chains=2) == pytest.approx(100.0)
+
+    def test_chaining_pays_off_more_with_fewer_chains(self, lion_result):
+        """More chains cheapen scans, shrinking the functional tests'
+        relative advantage over the per-transition baseline."""
+        one = lion_result.test_set.cycles_pct_of_baseline(n_chains=1)
+        many = lion_result.test_set.cycles_pct_of_baseline(n_chains=2)
+        assert many >= one
+
+    def test_bad_chain_count_rejected(self, lion_result):
+        with pytest.raises(GenerationError):
+            lion_result.test_set.clock_cycles(n_chains=0)

@@ -1,0 +1,195 @@
+"""Unit tests for the non-scan substrate (synchronizing, homing, generator)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks import circuit_names, get_spec, load_circuit
+from repro.core.faultmodel import sample_faults
+from repro.core.generator import generate_tests
+from repro.errors import SearchBudgetExceeded, StateTableError
+from repro.fsm.builders import StateTableBuilder
+from repro.nonscan.generator import generate_nonscan_sequence
+from repro.nonscan.simulate import simulate_nonscan_faults
+from repro.nonscan.synchronizing import (
+    find_homing_sequence,
+    find_synchronizing_sequence,
+    synchronized_state,
+)
+
+
+def resettable_machine():
+    """Input 0 forces state r from anywhere: a 1-step synchronizing input."""
+    builder = StateTableBuilder(1, 1)
+    builder.add("r", 0, "r", 0)
+    builder.add("r", 1, "a", 1)
+    builder.add("a", 0, "r", 1)
+    builder.add("a", 1, "b", 0)
+    builder.add("b", 0, "r", 0)
+    builder.add("b", 1, "a", 1)
+    return builder.build()
+
+
+def permutation_machine():
+    """Inputs permute the states: no synchronizing sequence can exist."""
+    builder = StateTableBuilder(1, 1)
+    builder.add("a", 0, "b", 0)
+    builder.add("a", 1, "a", 0)
+    builder.add("b", 0, "a", 1)
+    builder.add("b", 1, "b", 1)
+    return builder.build()
+
+
+class TestSynchronizing:
+    def test_one_step_synchronizer_found(self):
+        table = resettable_machine()
+        assert find_synchronizing_sequence(table) == (0,)
+        assert synchronized_state(table, (0,)) == 0
+
+    def test_permutation_machine_has_none(self):
+        assert find_synchronizing_sequence(permutation_machine()) is None
+
+    def test_shiftreg_synchronizes_in_three(self, shiftreg):
+        sequence = find_synchronizing_sequence(shiftreg)
+        assert sequence is not None
+        assert len(sequence) == 3  # three shifts fill the register
+        synchronized_state(shiftreg, sequence)
+
+    def test_single_state_machine_trivial(self):
+        builder = StateTableBuilder(1, 1)
+        builder.add("only", 0, "only", 0)
+        builder.add("only", 1, "only", 1)
+        assert find_synchronizing_sequence(builder.build()) == ()
+
+    def test_non_synchronizing_sequence_rejected(self):
+        table = permutation_machine()
+        with pytest.raises(StateTableError):
+            synchronized_state(table, (0, 1))
+
+    def test_budget_exceeded_raises(self, shiftreg):
+        with pytest.raises(SearchBudgetExceeded):
+            find_synchronizing_sequence(shiftreg, node_budget=1)
+
+
+class TestHoming:
+    def test_shiftreg_homing(self, shiftreg):
+        """Observing three shifted-out bits reveals the register: homing."""
+        sequence = find_homing_sequence(shiftreg)
+        assert sequence is not None
+        assert len(sequence) == 3
+
+    def test_lion_homing_exists(self, lion):
+        sequence = find_homing_sequence(lion)
+        assert sequence is not None
+        # verify the homing property by brute force: the (outputs, final)
+        # mapping must let outputs determine the final state uniquely.
+        by_output: dict[tuple[int, ...], set[int]] = {}
+        for state in range(lion.n_states):
+            final, outputs = lion.run(state, sequence)
+            by_output.setdefault(outputs, set()).add(final)
+        assert all(len(finals) == 1 for finals in by_output.values())
+
+    def test_twin_component_machine_has_no_homing(self):
+        """Two identical, disconnected components: outputs can never say
+        which copy the machine is in, and the copies never merge — no
+        homing sequence exists (final state stays ambiguous)."""
+        builder = StateTableBuilder(1, 1)
+        for copy in ("1", "2"):
+            builder.add(f"a{copy}", 0, f"b{copy}", 0)
+            builder.add(f"a{copy}", 1, f"a{copy}", 1)
+            builder.add(f"b{copy}", 0, f"a{copy}", 1)
+            builder.add(f"b{copy}", 1, f"b{copy}", 0)
+        assert find_homing_sequence(builder.build()) is None
+
+    def test_merging_equivalent_states_still_home(self):
+        """Equivalent states that merge do not block homing: the *final*
+        state is determinable even when the initial one is not."""
+        builder = StateTableBuilder(1, 1)
+        builder.add("a", 0, "b", 0)
+        builder.add("a", 1, "a", 1)
+        builder.add("b", 0, "a", 1)
+        builder.add("b", 1, "b", 0)
+        builder.add("c", 0, "a", 1)  # c behaves like b and merges into a
+        builder.add("c", 1, "c", 0)
+        assert find_homing_sequence(builder.build()) is not None
+
+
+class TestNonScanGenerator:
+    def test_lion_full_exercise_partial_verification(self, lion):
+        result = generate_nonscan_sequence(lion)
+        # lion is strongly connected: every transition can be exercised ...
+        assert not result.unreachable
+        assert result.exercised_pct == 100.0
+        # ... but states 1 and 3 have no UIO, so their incoming transitions
+        # are never verified: scan's advantage, quantified.
+        assert result.verified_pct < 100.0
+        expected_unverified = {
+            (s, a)
+            for s in range(4)
+            for a in range(4)
+            if lion.next_state[s, a] in (1, 3)
+        }
+        assert result.exercised_only == frozenset(expected_unverified)
+
+    def test_completed_machines_have_unreachable_transitions(self):
+        """Fill states (unused scan codes) cannot be reached without scan."""
+        for name in ("bbara", "train11"):
+            spec = get_spec(name)
+            table = load_circuit(name)
+            result = generate_nonscan_sequence(table)
+            fill_transitions = {
+                (state, combo)
+                for state in range(spec.n_core_states, spec.n_states)
+                for combo in range(table.n_input_combinations)
+            }
+            assert fill_transitions <= result.unreachable
+
+    def test_scan_always_verifies_more(self):
+        """The paper's argument as an inequality on every small circuit."""
+        from repro.core.coverage import verify_test_set
+
+        for name in sorted(circuit_names("small")):
+            table = load_circuit(name)
+            nonscan = generate_nonscan_sequence(table)
+            scan = generate_tests(table)
+            report = verify_test_set(table, scan.test_set)
+            assert report.is_complete
+            assert len(nonscan.verified) <= report.n_transitions
+            if nonscan.verified_pct < 100.0:
+                assert report.verified_fraction == 1.0  # scan closes the gap
+
+    def test_sequence_replays_consistently(self, lion):
+        result = generate_nonscan_sequence(lion)
+        final, outputs = lion.run(result.start_state, result.sequence)
+        assert len(outputs) == result.length
+
+    def test_synchronizing_prefix_used_when_available(self, shiftreg):
+        result = generate_nonscan_sequence(shiftreg)
+        assert result.used_synchronizing
+
+
+class TestNonScanFaultSimulation:
+    def test_scan_detects_more_transition_faults(self, lion):
+        faults = sample_faults(lion, 60, seed="nonscan")
+        nonscan = generate_nonscan_sequence(lion)
+        nonscan_result = simulate_nonscan_faults(lion, nonscan.sequence, faults)
+        from repro.core.faultmodel import simulate_functional_faults
+
+        scan_tests = generate_tests(lion).test_set
+        scan_result = simulate_functional_faults(lion, scan_tests, faults)
+        assert scan_result.coverage_pct >= nonscan_result.coverage_pct
+
+    def test_fault_on_unverified_transition_may_escape(self, lion):
+        """A next-state-only fault on a transition into a UIO-less state
+        escapes the non-scan sequence when its corruption converges."""
+        faults = sample_faults(lion, 120, seed="escape")
+        nonscan = generate_nonscan_sequence(lion)
+        result = simulate_nonscan_faults(lion, nonscan.sequence, faults)
+        assert result.coverage_pct <= 100.0
+
+    def test_noop_fault_rejected(self, lion):
+        from repro.core.faultmodel import StateTransitionFault
+        from repro.errors import FaultSimulationError
+
+        with pytest.raises(FaultSimulationError):
+            simulate_nonscan_faults(lion, (0,), [StateTransitionFault(0, 0, 0, 0)])

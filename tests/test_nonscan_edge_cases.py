@@ -1,0 +1,68 @@
+"""Edge cases of the non-scan generator and simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GeneratorConfig
+from repro.fsm.builders import StateTableBuilder
+from repro.nonscan.generator import generate_nonscan_sequence
+from repro.nonscan.simulate import simulate_nonscan_faults
+from repro.core.faultmodel import StateTransitionFault
+
+
+def permutation_machine():
+    builder = StateTableBuilder(1, 1)
+    builder.add("a", 0, "b", 0)
+    builder.add("a", 1, "a", 0)
+    builder.add("b", 0, "a", 1)
+    builder.add("b", 1, "b", 1)
+    return builder.build()
+
+
+class TestResetAssumption:
+    def test_no_synchronizer_and_no_reset_rejected(self):
+        with pytest.raises(ValueError, match="reset"):
+            generate_nonscan_sequence(
+                permutation_machine(), assume_reset=False
+            )
+
+    def test_no_synchronizer_with_reset_starts_at_zero(self):
+        result = generate_nonscan_sequence(permutation_machine())
+        assert result.start_state == 0
+        assert not result.used_synchronizing
+
+    def test_custom_config_uio_bound(self):
+        table = permutation_machine()
+        short = generate_nonscan_sequence(
+            table, GeneratorConfig(max_uio_length=0)
+        )
+        # With L = 0, no UIOs exist: nothing can be verified.
+        assert not short.verified
+        assert short.exercised_only or short.unreachable
+
+
+class TestWorstCaseStartSemantics:
+    def test_worst_case_start_detection_is_conservative(self):
+        """With assume_reset=False, detection must hold from every start
+        pair; a fault caught only from some starts does not count."""
+        table = permutation_machine()
+        fault = StateTransitionFault(0, 0, 0, 1)  # a --0--> b output flips
+        sequence = (0,)
+        relaxed = simulate_nonscan_faults(table, sequence, [fault], assume_reset=True)
+        strict = simulate_nonscan_faults(table, sequence, [fault], assume_reset=False)
+        assert fault in relaxed.detected
+        # From start state b the sequence never exercises the faulty entry.
+        assert fault in strict.undetected
+
+    def test_empty_sequence_detects_nothing(self):
+        table = permutation_machine()
+        fault = StateTransitionFault(0, 0, 0, 1)
+        result = simulate_nonscan_faults(table, (), [fault])
+        assert fault in result.undetected
+
+    def test_empty_fault_list(self):
+        table = permutation_machine()
+        result = simulate_nonscan_faults(table, (0, 1), [])
+        assert result.n_faults == 0
+        assert result.coverage_pct == 100.0

@@ -1,0 +1,127 @@
+"""Internal-consistency checks of the transcribed paper numbers.
+
+The paper's own tables obey arithmetic identities (the Table 7 cycle
+formula, transition counts, percentage definitions).  Verifying them on the
+transcription both guards against transcription typos and confirms that our
+implementation of the formulas matches the paper's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks.paper_data import (
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+    PAPER_TABLE6,
+    PAPER_TABLE7,
+    PAPER_TABLE8,
+    PAPER_TABLE9,
+)
+
+CIRCUITS = sorted(PAPER_TABLE4)
+
+
+class TestCrossTableConsistency:
+    def test_all_tables_cover_the_same_circuits(self):
+        assert set(PAPER_TABLE5) == set(PAPER_TABLE4)
+        assert set(PAPER_TABLE6) == set(PAPER_TABLE4)
+        assert set(PAPER_TABLE7) == set(PAPER_TABLE4)
+
+    @pytest.mark.parametrize("name", CIRCUITS)
+    def test_transition_count_identity(self, name):
+        """trans = states * 2**pi, everywhere."""
+        t4, t5 = PAPER_TABLE4[name], PAPER_TABLE5[name]
+        assert t5.trans == t4.states * (1 << t4.pi)
+
+    @pytest.mark.parametrize("name", CIRCUITS)
+    def test_states_are_2_pow_sv(self, name):
+        t4 = PAPER_TABLE4[name]
+        assert t4.states == 1 << t4.sv
+
+    @pytest.mark.parametrize("name", CIRCUITS)
+    def test_unique_at_most_states(self, name):
+        t4 = PAPER_TABLE4[name]
+        assert 0 <= t4.unique <= t4.states
+        assert 0 <= t4.max_len <= t4.sv  # the paper bounds L by N_SV
+
+
+class TestCycleFormula:
+    @pytest.mark.parametrize("name", CIRCUITS)
+    def test_baseline_cycles(self, name):
+        """trans column of Table 7 = sv*(trans+1) + trans."""
+        t4, t5, t7 = PAPER_TABLE4[name], PAPER_TABLE5[name], PAPER_TABLE7[name]
+        assert t7.trans_cycles == t4.sv * (t5.trans + 1) + t5.trans
+
+    @pytest.mark.parametrize("name", CIRCUITS)
+    def test_functional_cycles(self, name):
+        """funct column of Table 7 = sv*(tests+1) + len, from Table 5."""
+        t4, t5, t7 = PAPER_TABLE4[name], PAPER_TABLE5[name], PAPER_TABLE7[name]
+        assert t7.funct_cycles == t4.sv * (t5.tests + 1) + t5.length
+
+    @pytest.mark.parametrize("name", CIRCUITS)
+    def test_effective_cycles(self, name):
+        """s.a./bridging columns of Table 7 follow from Table 6's tests."""
+        t4, t6, t7 = PAPER_TABLE4[name], PAPER_TABLE6[name], PAPER_TABLE7[name]
+        assert t7.sa_cycles == t4.sv * (t6.sa_tests + 1) + t6.sa_len
+        assert t7.bridge_cycles == (
+            t4.sv * (t6.bridge_tests + 1) + t6.bridge_len
+        )
+
+    @pytest.mark.parametrize("name", CIRCUITS)
+    def test_percentages(self, name):
+        t7 = PAPER_TABLE7[name]
+        assert t7.funct_pct == pytest.approx(
+            100.0 * t7.funct_cycles / t7.trans_cycles, abs=0.011
+        )
+        assert t7.sa_pct == pytest.approx(
+            100.0 * t7.sa_cycles / t7.trans_cycles, abs=0.3
+        )
+
+    @pytest.mark.parametrize("name", sorted(PAPER_TABLE8))
+    def test_table8_cycles(self, name):
+        t4, t8 = PAPER_TABLE4[name], PAPER_TABLE8[name]
+        assert t8.cycles == t4.sv * (t8.tests + 1) + t8.length
+        baseline = t4.sv * (t8.trans + 1) + t8.trans
+        assert t8.pct == pytest.approx(100.0 * t8.cycles / baseline, abs=0.011)
+
+
+class TestTable5Percentages:
+    @pytest.mark.parametrize("name", CIRCUITS)
+    def test_pct_len1_is_a_multiple_of_one_transition(self, name):
+        """1len% * trans / 100 must be (close to) an integer test count.
+
+        The paper prints two decimals, so the implied count carries an
+        uncertainty of ``trans * 0.005 / 100`` tests.
+        """
+        t5 = PAPER_TABLE5[name]
+        implied = t5.pct_len1 * t5.trans / 100.0
+        tolerance = max(0.05, t5.trans * 0.005 / 100.0 + 0.01)
+        assert abs(implied - round(implied)) < tolerance
+
+    @pytest.mark.parametrize("name", CIRCUITS)
+    def test_tests_between_bounds(self, name):
+        t5 = PAPER_TABLE5[name]
+        assert 0 < t5.tests <= t5.trans
+        assert t5.length >= t5.tests  # every test applies >= 1 vector
+
+
+class TestTable9Consistency:
+    @pytest.mark.parametrize("name", sorted(PAPER_TABLE9))
+    def test_unique_monotone_in_length_bound(self, name):
+        rows = PAPER_TABLE9[name]
+        uniques = [row[0] for row in rows]
+        assert uniques == sorted(uniques)
+
+    @pytest.mark.parametrize("name", sorted(PAPER_TABLE9))
+    def test_cycle_formula_per_row(self, name):
+        sv = PAPER_TABLE4[name].sv
+        for _unique, mlen, tests, length, _pct1, cycles, _pct in PAPER_TABLE9[name]:
+            if name == "rie" and mlen == 7:
+                # Known inconsistency in the paper itself: the printed
+                # tests=10052 does not satisfy the cycle formula, while the
+                # cycles and percentage columns agree with tests=10952 — a
+                # one-digit typo in the original table.
+                assert cycles == sv * (10952 + 1) + length
+                continue
+            assert cycles == sv * (tests + 1) + length

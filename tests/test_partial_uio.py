@@ -1,0 +1,96 @@
+"""Unit tests for partial UIO sets and pairwise distinguishing sequences."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StateTableError
+from repro.fsm.builders import StateTableBuilder
+from repro.uio.partial import (
+    compute_partial_uio_set,
+    pairwise_distinguishing_sequence,
+)
+
+
+class TestPairwiseDistinguishing:
+    def test_lion_state0_vs_others(self, lion):
+        for other in (1, 2, 3):
+            seq = pairwise_distinguishing_sequence(lion, 0, other)
+            assert seq is not None
+            assert lion.response(0, seq) != lion.response(other, seq)
+
+    def test_shortest_returned(self, lion):
+        # input 00 already separates state 0 (output 0) from state 2 (output 1).
+        assert len(pairwise_distinguishing_sequence(lion, 0, 2)) == 1
+
+    def test_equivalent_states_return_none(self):
+        builder = StateTableBuilder(1, 1)
+        builder.add("a", 0, "b", 0)
+        builder.add("a", 1, "a", 1)
+        builder.add("b", 0, "a", 1)
+        builder.add("b", 1, "b", 0)
+        builder.add("c", 0, "a", 1)
+        builder.add("c", 1, "c", 0)
+        table = builder.build()
+        # b and c produce identical outputs forever
+        assert pairwise_distinguishing_sequence(table, 1, 2) is None
+
+    def test_same_state_rejected(self, lion):
+        with pytest.raises(StateTableError):
+            pairwise_distinguishing_sequence(lion, 1, 1)
+
+    def test_length_bound_respected(self, shiftreg):
+        # States 0 (000) and 1 (001) differ only in the last bit shifted out.
+        assert pairwise_distinguishing_sequence(shiftreg, 0, 1, max_length=2) is None
+        assert pairwise_distinguishing_sequence(shiftreg, 0, 1, max_length=3) is not None
+
+
+class TestPartialUioSet:
+    def test_lion_state1_gets_complete_partial_set(self, lion):
+        """State 1 of lion has no full UIO, but short sequences jointly
+        distinguish it — the exact situation the paper's remark describes."""
+        pset = compute_partial_uio_set(lion, 1)
+        assert pset.complete
+        assert len(pset.sequences) >= 2  # no single sequence suffices
+        covered = frozenset().union(*pset.covered)
+        assert covered == frozenset({0, 2, 3})
+
+    def test_sequences_actually_distinguish_their_sets(self, lion):
+        pset = compute_partial_uio_set(lion, 3)
+        for sequence, covered in zip(pset.sequences, pset.covered):
+            reference = lion.response(3, sequence)
+            for other in covered:
+                assert lion.response(other, sequence) != reference
+
+    def test_state_with_full_uio_gets_single_sequence(self, lion):
+        pset = compute_partial_uio_set(lion, 0)
+        assert pset.complete
+        assert len(pset.sequences) == 1
+
+    def test_incomplete_when_equivalent_sibling_exists(self):
+        builder = StateTableBuilder(1, 1)
+        builder.add("a", 0, "b", 0)
+        builder.add("a", 1, "a", 1)
+        builder.add("b", 0, "a", 1)
+        builder.add("b", 1, "b", 0)
+        builder.add("c", 0, "a", 1)
+        builder.add("c", 1, "c", 0)
+        table = builder.build()
+        pset = compute_partial_uio_set(table, 1)
+        assert not pset.complete
+
+    def test_single_state_machine_trivially_complete(self):
+        builder = StateTableBuilder(1, 1)
+        builder.add("a", 0, "a", 0)
+        builder.add("a", 1, "a", 1)
+        pset = compute_partial_uio_set(builder.build(), 0)
+        assert pset.complete
+        assert pset.sequences == ()
+
+    def test_total_length(self, lion):
+        pset = compute_partial_uio_set(lion, 1)
+        assert pset.total_length == sum(len(s) for s in pset.sequences)
+
+    def test_bad_state_rejected(self, lion):
+        with pytest.raises(StateTableError):
+            compute_partial_uio_set(lion, 12)

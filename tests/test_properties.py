@@ -1,0 +1,170 @@
+"""Property-based tests (hypothesis) on the core algorithms.
+
+Machines are generated randomly; every property is an invariant the paper's
+procedure must uphold on *any* completely specified Mealy machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import GeneratorConfig
+from repro.core.coverage import verify_test_set
+from repro.core.generator import generate_tests
+from repro.core.testset import baseline_clock_cycles
+from repro.fsm.state_table import StateTable
+from repro.uio.partial import pairwise_distinguishing_sequence
+from repro.uio.search import compute_uio_table, find_uio
+from repro.uio.transfer import find_transfer
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def state_tables(draw, max_states=6, max_inputs=2, max_outputs=2):
+    n_states = draw(st.integers(1, max_states))
+    n_inputs = draw(st.integers(0, max_inputs))
+    n_outputs = draw(st.integers(0, max_outputs))
+    n_cols = 1 << n_inputs
+    next_state = draw(
+        st.lists(
+            st.lists(st.integers(0, n_states - 1), min_size=n_cols, max_size=n_cols),
+            min_size=n_states,
+            max_size=n_states,
+        )
+    )
+    output = draw(
+        st.lists(
+            st.lists(
+                st.integers(0, (1 << n_outputs) - 1),
+                min_size=n_cols,
+                max_size=n_cols,
+            ),
+            min_size=n_states,
+            max_size=n_states,
+        )
+    )
+    return StateTable(
+        np.array(next_state, dtype=np.int32),
+        np.array(output, dtype=np.int64),
+        n_inputs,
+        n_outputs,
+        name="random",
+    )
+
+
+class TestUioProperties:
+    @SETTINGS
+    @given(state_tables())
+    def test_found_uio_really_distinguishes(self, table):
+        uio = compute_uio_table(table, max_length=table.n_state_variables + 1)
+        uio.verify(table)  # raises on any bogus sequence
+
+    @SETTINGS
+    @given(state_tables(), st.integers(0, 3))
+    def test_uio_length_respects_bound(self, table, bound):
+        uio = compute_uio_table(table, max_length=bound)
+        for sequence in uio:
+            assert sequence.length <= max(bound, 0) or table.n_states == 1
+
+    @SETTINGS
+    @given(state_tables())
+    def test_uio_monotone_in_bound(self, table):
+        shorter = compute_uio_table(table, max_length=1)
+        longer = compute_uio_table(table, max_length=3)
+        assert shorter.n_found <= longer.n_found
+        for state in shorter.sequences:
+            assert longer.has(state)
+
+    @SETTINGS
+    @given(state_tables(max_states=5))
+    def test_equivalent_states_never_have_uio(self, table):
+        from repro.fsm.analysis import equivalence_classes
+
+        uio = compute_uio_table(table, max_length=table.n_states)
+        for members in equivalence_classes(table):
+            if len(members) > 1:
+                for state in members:
+                    assert not uio.has(state)
+
+
+class TestGeneratorProperties:
+    @SETTINGS
+    @given(state_tables())
+    def test_complete_verified_coverage(self, table):
+        result = generate_tests(table)
+        report = verify_test_set(table, result.test_set)
+        assert report.is_complete
+
+    @SETTINGS
+    @given(state_tables())
+    def test_each_transition_credited_once(self, table):
+        result = generate_tests(table)
+        credited = [key for test in result.test_set for key in test.tested]
+        assert len(credited) == table.n_transitions
+        assert len(set(credited)) == table.n_transitions
+
+    @SETTINGS
+    @given(state_tables())
+    def test_never_more_tests_than_baseline(self, table):
+        result = generate_tests(table)
+        assert result.n_tests <= table.n_transitions
+
+    @SETTINGS
+    @given(state_tables(), st.integers(0, 2))
+    def test_transfer_bound_variants_stay_complete(self, table, bound):
+        result = generate_tests(table, GeneratorConfig(max_transfer_length=bound))
+        assert verify_test_set(table, result.test_set).is_complete
+
+    @SETTINGS
+    @given(state_tables(max_states=5))
+    def test_partial_uio_mode_stays_complete(self, table):
+        result = generate_tests(table, GeneratorConfig(use_partial_uio=True))
+        assert verify_test_set(table, result.test_set).is_complete
+
+    @SETTINGS
+    @given(state_tables())
+    def test_cycle_formula_consistency(self, table):
+        result = generate_tests(table)
+        cycles = result.clock_cycles()
+        expected = (
+            table.n_state_variables * (result.n_tests + 1) + result.total_length
+        )
+        assert cycles == expected
+        assert result.cycles_pct_of_baseline() == 100.0 * cycles / (
+            baseline_clock_cycles(table.n_state_variables, table.n_transitions)
+        )
+
+
+class TestTransferProperties:
+    @SETTINGS
+    @given(state_tables(), st.integers(0, 5), st.data())
+    def test_transfer_arrives_within_bound(self, table, bound, data):
+        source = data.draw(st.integers(0, table.n_states - 1))
+        target = data.draw(st.integers(0, table.n_states - 1))
+        path = find_transfer(table, source, {target}, bound)
+        if path is not None:
+            assert len(path) <= bound
+            assert table.final_state(source, path) == target
+
+
+class TestPairwiseProperties:
+    @SETTINGS
+    @given(state_tables(max_states=5), st.data())
+    def test_pairwise_sequence_separates(self, table, data):
+        if table.n_states < 2:
+            return
+        first = data.draw(st.integers(0, table.n_states - 2))
+        second = data.draw(st.integers(first + 1, table.n_states - 1))
+        sequence = pairwise_distinguishing_sequence(table, first, second)
+        if sequence is not None:
+            assert table.response(first, sequence) != table.response(second, sequence)
+        else:
+            from repro.fsm.analysis import machines_equivalent
+
+            assert machines_equivalent(table, table, first, second)

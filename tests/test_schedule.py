@@ -1,0 +1,91 @@
+"""Unit tests for the cycle-accurate scan schedule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks import circuit_names, load_circuit
+from repro.core.generator import generate_tests
+from repro.core.schedule import ScheduleEventKind, TestSchedule
+from repro.core.testset import TestSet
+from repro.errors import GenerationError
+
+
+class TestFormulaValidation:
+    @pytest.mark.parametrize("name", sorted(circuit_names("small")))
+    def test_timeline_total_equals_table7_formula(self, name):
+        """The schedule's actual duration must equal N_SV*(N_T+1) + ΣN_PIC."""
+        table = load_circuit(name)
+        test_set = generate_tests(table).test_set
+        schedule = TestSchedule.from_test_set(test_set)
+        assert schedule.total_cycles == test_set.clock_cycles()
+
+    @pytest.mark.parametrize("ratio", [1, 2, 5])
+    def test_scan_ratio_scales_timeline(self, lion_result, ratio):
+        schedule = TestSchedule.from_test_set(lion_result.test_set, ratio)
+        assert schedule.total_cycles == lion_result.test_set.clock_cycles(ratio)
+
+    def test_scan_operation_count(self, lion_result):
+        schedule = TestSchedule.from_test_set(lion_result.test_set)
+        assert schedule.n_scan_operations == lion_result.n_tests + 1
+
+    def test_functional_cycles_equal_total_length(self, lion_result):
+        schedule = TestSchedule.from_test_set(lion_result.test_set)
+        assert schedule.functional_cycles == lion_result.total_length
+
+
+class TestTimelineStructure:
+    def test_events_are_contiguous(self, lion_result):
+        schedule = TestSchedule.from_test_set(lion_result.test_set)
+        clock = 0
+        for event in schedule:
+            assert event.start == clock
+            clock = event.end
+
+    def test_starts_with_scan_in_ends_with_scan_out(self, lion_result):
+        schedule = TestSchedule.from_test_set(lion_result.test_set)
+        assert schedule.events[0].kind is ScheduleEventKind.SCAN_IN
+        assert schedule.events[-1].kind is ScheduleEventKind.SCAN_OUT
+
+    def test_interior_scans_are_shared_turnarounds(self, lion_result):
+        schedule = TestSchedule.from_test_set(lion_result.test_set)
+        turnarounds = [
+            event
+            for event in schedule
+            if event.kind is ScheduleEventKind.SCAN_TURNAROUND
+        ]
+        assert len(turnarounds) == lion_result.n_tests - 1
+
+    def test_turnaround_payload_carries_both_states(self, lion_result):
+        schedule = TestSchedule.from_test_set(lion_result.test_set)
+        sv = lion_result.test_set.n_state_variables
+        first_turnaround = next(
+            event
+            for event in schedule
+            if event.kind is ScheduleEventKind.SCAN_TURNAROUND
+        )
+        assert len(first_turnaround.payload) == 2 * sv
+
+    def test_scan_in_payload_is_initial_state_bits(self, lion_result):
+        schedule = TestSchedule.from_test_set(lion_result.test_set)
+        first = schedule.events[0]
+        bits = first.payload
+        value = 0
+        for bit in bits:
+            value = (value << 1) | bit
+        assert value == lion_result.test_set.tests[0].initial_state
+
+    def test_empty_set(self):
+        schedule = TestSchedule.from_test_set(TestSet("m", 2, 4))
+        assert schedule.total_cycles == 0
+        assert len(schedule) == 0
+
+    def test_bad_ratio_rejected(self, lion_result):
+        with pytest.raises(GenerationError):
+            TestSchedule.from_test_set(lion_result.test_set, 0)
+
+    def test_render_mentions_every_event(self, lion_result):
+        schedule = TestSchedule.from_test_set(lion_result.test_set)
+        text = schedule.render()
+        assert text.count("\n") + 1 == len(schedule)
+        assert "scan-in" in text and "scan-out" in text

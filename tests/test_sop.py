@@ -1,0 +1,117 @@
+"""Unit tests for cube utilities and the Quine-McCluskey minimizer."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.gatelevel.sop import (
+    cube_covers,
+    cubes_overlap,
+    merge_cubes,
+    quine_mccluskey,
+)
+
+
+class TestCubeCovers:
+    def test_exact_match(self):
+        assert cube_covers("101", 0b101)
+        assert not cube_covers("101", 0b100)
+
+    def test_dont_care_positions(self):
+        assert cube_covers("1-1", 0b101)
+        assert cube_covers("1-1", 0b111)
+        assert not cube_covers("1-1", 0b110)
+
+    def test_bad_cube_rejected(self):
+        with pytest.raises(SynthesisError):
+            cube_covers("1x", 0)
+
+
+class TestCubesOverlap:
+    def test_disjoint(self):
+        assert not cubes_overlap("0-", "1-")
+
+    def test_overlap(self):
+        assert cubes_overlap("0-", "-1")
+
+    def test_width_mismatch(self):
+        with pytest.raises(SynthesisError):
+            cubes_overlap("0", "00")
+
+
+class TestMergeCubes:
+    def test_adjacent_pair_merges(self):
+        assert merge_cubes(["00", "01"]) == ["0-"]
+
+    def test_full_space_collapses(self):
+        assert merge_cubes(["00", "01", "10", "11"]) == ["--"]
+
+    def test_non_adjacent_kept(self):
+        assert sorted(merge_cubes(["00", "11"])) == ["00", "11"]
+
+    def test_coverage_preserved(self):
+        cubes = ["000", "001", "011", "100", "110", "111"]
+        merged = merge_cubes(cubes)
+        for term in range(8):
+            original = any(cube_covers(c, term) for c in cubes)
+            after = any(cube_covers(c, term) for c in merged)
+            assert original == after
+
+    def test_duplicates_removed(self):
+        assert merge_cubes(["0-", "0-"]) == ["0-"]
+
+
+class TestQuineMccluskey:
+    def test_empty_on_set(self):
+        assert quine_mccluskey(3, []) == []
+
+    def test_full_on_set(self):
+        assert quine_mccluskey(2, [0, 1, 2, 3]) == ["--"]
+
+    def test_xor_not_reducible(self):
+        cover = quine_mccluskey(2, [0b01, 0b10])
+        assert sorted(cover) == ["01", "10"]
+
+    def test_classic_example(self):
+        # f(a,b,c,d) = Σm(4,8,10,11,12,15) + d(9,14): a textbook instance.
+        cover = quine_mccluskey(4, [4, 8, 10, 11, 12, 15], dont_cares=[9, 14])
+        for term in (4, 8, 10, 11, 12, 15):
+            assert any(cube_covers(c, term) for c in cover)
+        for term in range(16):
+            if term in (4, 8, 10, 11, 12, 15, 9, 14):
+                continue
+            assert not any(cube_covers(c, term) for c in cover)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_functions_covered_exactly(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        n_vars = 4
+        on_set = [t for t in range(16) if rng.random() < 0.4]
+        cover = quine_mccluskey(n_vars, on_set)
+        covered = {
+            term
+            for term in range(16)
+            if any(cube_covers(c, term) for c in cover)
+        }
+        assert covered == set(on_set)
+
+    def test_zero_vars(self):
+        assert quine_mccluskey(0, [0]) == [""]
+
+    def test_out_of_range_minterm_rejected(self):
+        with pytest.raises(SynthesisError):
+            quine_mccluskey(2, [4])
+
+    def test_too_many_vars_rejected(self):
+        with pytest.raises(SynthesisError):
+            quine_mccluskey(17, [0])
+
+    def test_prime_cover_not_larger_than_minterms(self):
+        on_set = [0, 1, 2, 3, 7]
+        cover = quine_mccluskey(3, on_set)
+        assert len(cover) <= len(on_set)

@@ -1,0 +1,114 @@
+"""Unit tests for scan tests, test sets, and the clock-cycle model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baseline import per_transition_tests
+from repro.core.testset import (
+    ScanTest,
+    Segment,
+    SegmentKind,
+    TestSet,
+    baseline_clock_cycles,
+)
+from repro.errors import GenerationError
+
+
+def make_test(initial=0, inputs=(0,), final=0):
+    return ScanTest(initial, tuple(inputs), final)
+
+
+class TestScanTest:
+    def test_length(self):
+        assert make_test(inputs=(1, 2, 3)).length == 3
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(GenerationError):
+            make_test(inputs=())
+
+    def test_segments_must_concatenate(self):
+        with pytest.raises(GenerationError, match="concatenate"):
+            ScanTest(
+                0,
+                (1, 2),
+                0,
+                (Segment(SegmentKind.TRANSITION, 0, (1,)),),
+            )
+
+    def test_transition_segment_single_input(self):
+        with pytest.raises(GenerationError, match="exactly one"):
+            Segment(SegmentKind.TRANSITION, 0, (1, 2))
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(GenerationError):
+            Segment(SegmentKind.UIO, 0, ())
+
+    def test_replay(self, lion):
+        test = make_test(0, (0b01, 0b00), 1)
+        final, outputs = test.replay(lion)
+        assert final == 1
+        assert outputs == (1, 1)
+
+    def test_str_format(self):
+        assert str(make_test(2, (1, 0, 3), 3)) == "(2, (1,0,3), 3)"
+
+    def test_check_consistency_catches_bad_final(self, lion):
+        test = ScanTest(0, (0b01,), 0)
+        with pytest.raises(GenerationError):
+            test.check_consistency(lion)
+
+
+class TestTestSetMeasures:
+    def test_baseline_counts(self, lion):
+        baseline = per_transition_tests(lion)
+        assert baseline.n_tests == 16
+        assert baseline.total_length == 16
+        assert baseline.n_length_one == 16
+        assert baseline.pct_transitions_by_length_one == 100.0
+
+    def test_baseline_cycles_match_table7(self, lion):
+        baseline = per_transition_tests(lion)
+        assert baseline.clock_cycles() == 50  # the paper's lion trans column
+        assert baseline_clock_cycles(2, 16) == 50
+
+    def test_cycles_formula(self):
+        tests = [make_test(inputs=(0,) * k) for k in (3, 1)]
+        test_set = TestSet("m", 3, 8, tests)
+        # N_SV*(N_T+1) + total length = 3*3 + 4
+        assert test_set.clock_cycles() == 13
+        assert test_set.clock_cycles(scan_ratio=2) == 9 * 2 + 4
+
+    def test_empty_set_zero_cycles(self):
+        assert TestSet("m", 2, 4).clock_cycles() == 0
+
+    def test_by_decreasing_length_stable(self):
+        a = make_test(inputs=(0,))
+        b = make_test(inputs=(0, 1))
+        c = make_test(inputs=(1,))
+        test_set = TestSet("m", 1, 2, [a, b, c])
+        assert test_set.by_decreasing_length() == [b, a, c]
+
+    def test_covered_transitions_union(self):
+        a = ScanTest(0, (1,), 0, (), ((0, 1),))
+        b = ScanTest(1, (0,), 1, (), ((1, 0),))
+        test_set = TestSet("m", 1, 4, [a, b])
+        assert test_set.covered_transitions() == {(0, 1), (1, 0)}
+
+    def test_subset_guards_foreign_tests(self):
+        test_set = TestSet("m", 1, 2, [make_test()])
+        foreign = make_test(inputs=(1, 1))
+        with pytest.raises(GenerationError):
+            test_set.subset([foreign])
+
+    def test_subset_keeps_metadata(self):
+        original = TestSet("m", 3, 9, [make_test()])
+        subset = original.subset([original.tests[0]])
+        assert subset.n_state_variables == 3
+        assert subset.n_transitions == 9
+
+    def test_invalid_metadata_rejected(self):
+        with pytest.raises(GenerationError):
+            TestSet("m", 0, 4)
+        with pytest.raises(GenerationError):
+            TestSet("m", 1, 0)

@@ -1,0 +1,94 @@
+"""Unit tests for transfer sequence search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StateTableError
+from repro.fsm.builders import StateTableBuilder
+from repro.uio.transfer import find_transfer, transfer_map
+
+
+def chain_machine(n: int = 5):
+    """A one-way chain: input 1 advances, input 0 stays."""
+    builder = StateTableBuilder(1, 1, name="chain")
+    for i in range(n):
+        nxt = min(i + 1, n - 1)
+        builder.add(f"s{i}", 1, f"s{nxt}", 0)
+        builder.add(f"s{i}", 0, f"s{i}", 1)
+    return builder.build()
+
+
+class TestFindTransfer:
+    def test_source_in_targets_gives_empty(self, lion):
+        assert find_transfer(lion, 2, {2}, 3) == ()
+
+    def test_single_step(self, lion):
+        # The paper's example: input 01 takes state 0 to state 1.
+        assert find_transfer(lion, 0, {1}, 1) == (0b01,)
+
+    def test_prefers_smaller_input(self, lion):
+        # From state 2, inputs 10 and 11 both reach state 3: pick 10.
+        assert find_transfer(lion, 2, {3}, 1) == (0b10,)
+
+    def test_multi_step_shortest(self):
+        table = chain_machine()
+        assert find_transfer(table, 0, {3}, 5) == (1, 1, 1)
+
+    def test_bound_respected(self):
+        table = chain_machine()
+        assert find_transfer(table, 0, {3}, 2) is None
+
+    def test_unreachable_target(self):
+        table = chain_machine()
+        assert find_transfer(table, 4, {0}, 10) is None  # chain is one-way
+
+    def test_predicate_targets(self, lion):
+        result = find_transfer(lion, 0, lambda s: s == 3, 2)
+        assert result is not None
+        assert lion.final_state(0, result) == 3
+
+    def test_zero_bound_only_matches_source(self, lion):
+        assert find_transfer(lion, 0, {0}, 0) == ()
+        assert find_transfer(lion, 0, {1}, 0) is None
+
+    def test_bad_source_raises(self, lion):
+        with pytest.raises(StateTableError):
+            find_transfer(lion, 9, {0}, 1)
+
+    def test_negative_bound_raises(self, lion):
+        with pytest.raises(StateTableError):
+            find_transfer(lion, 0, {1}, -1)
+
+
+class TestTransferMap:
+    def test_lengths_match_per_source_search(self, lion):
+        targets = {1}
+        mapping = transfer_map(lion, targets, 3)
+        for source in range(4):
+            individual = find_transfer(lion, source, targets, 3)
+            if individual is None:
+                assert source not in mapping
+            else:
+                assert len(mapping[source]) == len(individual)
+
+    def test_paths_actually_arrive(self, lion):
+        mapping = transfer_map(lion, {3}, 3)
+        for source, path in mapping.items():
+            assert lion.final_state(source, path) == 3
+
+    def test_targets_have_empty_paths(self, lion):
+        mapping = transfer_map(lion, {2}, 2)
+        assert mapping[2] == ()
+
+    def test_unreachable_states_absent(self):
+        table = chain_machine()
+        mapping = transfer_map(table, {0}, 10)
+        assert set(mapping) == {0}
+
+    def test_bad_target_raises(self, lion):
+        with pytest.raises(StateTableError):
+            transfer_map(lion, {11}, 2)
+
+    def test_bound_zero(self, lion):
+        assert transfer_map(lion, {1}, 0) == {1: ()}

@@ -1,0 +1,164 @@
+"""Unit tests for the UIO sequence search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SearchBudgetExceeded, StateTableError
+from repro.fsm.builders import StateTableBuilder
+from repro.fsm.state_table import StateTable
+from repro.uio.search import (
+    UioSequence,
+    compute_uio_table,
+    find_uio,
+    input_class_representatives,
+)
+
+import numpy as np
+
+
+class TestLionPinnedToPaper:
+    """Table 2 of the paper, exactly."""
+
+    def test_state_0_uio(self, lion):
+        seq = find_uio(lion, 0, 2)
+        assert seq == UioSequence(0, (0b00,), 0)
+
+    def test_state_1_has_none(self, lion):
+        assert find_uio(lion, 1, 2) is None
+
+    def test_state_2_uio(self, lion):
+        seq = find_uio(lion, 2, 2)
+        assert seq == UioSequence(2, (0b00, 0b11), 3)
+
+    def test_state_3_has_none(self, lion):
+        assert find_uio(lion, 3, 2) is None
+
+    def test_table(self, lion):
+        table = compute_uio_table(lion)
+        assert table.n_found == 2
+        assert table.max_found_length == 2
+        table.verify(lion)
+
+
+class TestShiftreg:
+    def test_every_state_has_uio_of_length_three(self, shiftreg):
+        """The paper's Table 4 row: unique = 8, m.len = 3."""
+        table = compute_uio_table(shiftreg, max_length=3)
+        assert table.n_found == 8
+        assert table.max_found_length == 3
+
+    def test_no_uio_within_two(self, shiftreg):
+        """Three shifts are needed to expose all register bits."""
+        table = compute_uio_table(shiftreg, max_length=2)
+        assert table.n_found == 0
+
+
+class TestSearchProperties:
+    def test_uio_distinguishes_all_states(self, lion):
+        seq = find_uio(lion, 2, 4)
+        reference = lion.response(2, seq.inputs)
+        for other in (0, 1, 3):
+            assert lion.response(other, seq.inputs) != reference
+
+    def test_shortest_sequence_returned(self, two_counter):
+        for state in range(4):
+            seq = find_uio(two_counter, state, 5)
+            assert seq is not None
+            assert seq.length == 1  # outputs reveal the state immediately
+
+    def test_final_state_correct(self, lion):
+        seq = find_uio(lion, 2, 2)
+        assert lion.final_state(2, seq.inputs) == seq.final_state
+
+    def test_single_state_machine(self):
+        table = StateTable(np.array([[0, 0]]), np.array([[0, 1]]), 1, 1)
+        seq = find_uio(table, 0, 3)
+        assert seq == UioSequence(0, (), 0)
+
+    def test_zero_length_bound(self, lion):
+        assert find_uio(lion, 0, 0) is None
+
+    def test_bad_state_rejected(self, lion):
+        with pytest.raises(StateTableError):
+            find_uio(lion, 7, 2)
+
+    def test_negative_length_rejected(self, lion):
+        with pytest.raises(StateTableError):
+            find_uio(lion, 0, -1)
+
+    def test_budget_exhaustion_raises(self, shiftreg):
+        # shiftreg needs depth-3 searches; a one-node budget cannot finish.
+        with pytest.raises(SearchBudgetExceeded) as info:
+            find_uio(shiftreg, 0, max_length=3, node_budget=1)
+        assert info.value.nodes_expanded > 1
+
+    def test_budget_recorded_in_table(self, shiftreg):
+        table = compute_uio_table(shiftreg, node_budget=1)
+        assert table.budget_exhausted  # searches cut off, not proven absent
+
+    def test_equivalent_sibling_never_has_uio(self):
+        builder = StateTableBuilder(1, 1)
+        builder.add("a", 0, "b", 0)
+        builder.add("a", 1, "a", 1)
+        builder.add("b", 0, "a", 1)
+        builder.add("b", 1, "b", 0)
+        builder.add("c", 0, "a", 1)  # c mimics b exactly
+        builder.add("c", 1, "c", 0)
+        # make b and c truly equivalent: same outputs, merging successors
+        table = builder.build()
+        assert find_uio(table, 1, 8) is None or find_uio(table, 2, 8) is not None
+
+
+class TestInputClassRepresentatives:
+    def test_lion_has_no_duplicate_columns(self, lion):
+        assert input_class_representatives(lion) == (0, 1, 2, 3)
+
+    def test_duplicate_columns_merge(self):
+        builder = StateTableBuilder(2, 1)
+        for state in ("a", "b"):
+            other = "b" if state == "a" else "a"
+            out = 0 if state == "a" else 1
+            builder.add(state, 0b00, other, out)
+            builder.add(state, 0b01, other, out)  # same column as 00
+            builder.add(state, 0b10, state, out)
+            builder.add(state, 0b11, state, out)  # same column as 10
+        table = builder.build()
+        assert input_class_representatives(table) == (0, 2)
+
+    def test_representatives_preserve_uio_existence(self):
+        """A UIO found via representatives is valid for the full machine."""
+        builder = StateTableBuilder(2, 1)
+        builder.add("a", 0b00, "a", 0)
+        builder.add("a", 0b01, "a", 0)
+        builder.add("a", 0b10, "b", 1)
+        builder.add("a", 0b11, "b", 1)
+        builder.add("b", 0b00, "b", 1)
+        builder.add("b", 0b01, "b", 1)
+        builder.add("b", 0b10, "a", 0)
+        builder.add("b", 0b11, "a", 0)
+        table = builder.build()
+        seq = find_uio(table, 0, 2)
+        assert seq is not None
+        reference = table.response(0, seq.inputs)
+        assert table.response(1, seq.inputs) != reference
+
+
+class TestUioTable:
+    def test_get_and_has(self, lion):
+        table = compute_uio_table(lion)
+        assert table.has(0) and not table.has(1)
+        assert table.get(1) is None
+
+    def test_iteration(self, lion):
+        table = compute_uio_table(lion)
+        assert {seq.state for seq in table} == {0, 2}
+
+    def test_verify_rejects_tampering(self, lion):
+        table = compute_uio_table(lion)
+        table.sequences[1] = UioSequence(1, (0b00,), 1)  # not a real UIO
+        with pytest.raises(StateTableError):
+            table.verify(lion)
+
+    def test_default_length_is_n_sv(self, lion):
+        assert compute_uio_table(lion).max_length == lion.n_state_variables
