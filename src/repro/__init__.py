@@ -36,6 +36,12 @@ from repro.core import (
     verify_test_set,
 )
 from repro.fsm import StateTable, StateTableBuilder, parse_kiss
+from repro.lint import (
+    LintReport,
+    analyze_machine,
+    analyze_netlist,
+    analyze_test_program,
+)
 from repro.uio import compute_uio_table, find_transfer, find_uio
 
 __all__ = [
@@ -56,6 +62,10 @@ __all__ = [
     "StateTable",
     "StateTableBuilder",
     "parse_kiss",
+    "LintReport",
+    "analyze_machine",
+    "analyze_netlist",
+    "analyze_test_program",
     "compute_uio_table",
     "find_transfer",
     "find_uio",

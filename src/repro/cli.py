@@ -9,6 +9,7 @@ Subcommands
 ``delay``      — transition-delay coverage, chained tests vs baseline
 ``table2..9``  — regenerate the corresponding paper table
 ``all``        — regenerate every table over a tier
+``lint``       — static analysis of machines, netlists, and test programs
 ``claims``     — run the reproduction certificate (exit 1 on any failure)
 
 Examples
@@ -160,6 +161,65 @@ def _cmd_delay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.benchmarks import load_kiss_machine
+    from repro.lint import (
+        LintReport,
+        analyze_machine,
+        analyze_netlist,
+        analyze_test_program,
+        lint_kiss_source,
+    )
+
+    reports: list[LintReport] = []
+    for path in args.kiss or ():
+        try:
+            with open(path) as handle:
+                text = handle.read()
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        reports.append(lint_kiss_source(text, name=path))
+    if args.kiss and not args.circuits and args.tier == "default":
+        circuits: tuple[str, ...] = ()
+    else:
+        circuits = _circuit_list(args)
+    config = _config_from(args)
+    for name in circuits:
+        machine = load_kiss_machine(name)
+        reports.append(analyze_machine(machine, name=name))
+        if args.gatelevel or args.run_tests:
+            table = load_circuit(name)
+        if args.gatelevel:
+            from repro.gatelevel.scan import ScanCircuit
+            from repro.gatelevel.synthesis import SynthesisOptions
+
+            circuit = ScanCircuit.from_machine(
+                machine, SynthesisOptions(max_fanin=args.max_fanin)
+            )
+            reports.append(analyze_netlist(circuit, name=f"{name}/netlist"))
+        if args.run_tests:
+            result = generate_tests(table, config)
+            reports.append(
+                analyze_test_program(
+                    table,
+                    result.test_set,
+                    config,
+                    result.uio_table,
+                    name=f"{name}/tests",
+                )
+            )
+    merged = reports[0].merged(*reports[1:]) if reports else LintReport()
+    if args.format == "json":
+        print(merged.to_json())
+    else:
+        artifacts = len(reports)
+        print(merged.render(f"lint ({artifacts} artifact(s) analyzed)"))
+    if merged.errors or (args.strict and merged.warnings):
+        return 1
+    return 0
+
+
 def _cmd_claims(args: argparse.Namespace) -> int:
     from repro.harness.claims import render_claims, verify_claims
 
@@ -302,6 +362,32 @@ def build_parser() -> argparse.ArgumentParser:
         else:
             add_common(p, with_circuit_list=True)
         p.set_defaults(func=_table_command(number))
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis of machines, netlists, and generated tests",
+    )
+    lint.add_argument("--circuits", default="",
+                      help="comma-separated circuit names")
+    lint.add_argument("--tier", default="default",
+                      choices=("small", "medium", "large", "all", "default"),
+                      help="circuit tier (default: small+medium)")
+    lint.add_argument("--kiss", nargs="*", metavar="FILE",
+                      help="lint KISS2 files instead of (or besides) circuits")
+    lint.add_argument("--format", choices=("human", "json"), default="human",
+                      help="output format (json is SARIF-like)")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit non-zero on warnings, not just errors")
+    lint.add_argument("--no-gatelevel", dest="gatelevel", action="store_false",
+                      help="skip synthesizing and linting the netlist")
+    lint.add_argument("--no-tests", dest="run_tests", action="store_false",
+                      help="skip generating and linting the test program")
+    lint.add_argument("--max-fanin", type=int, default=4,
+                      help="gate fanin bound for synthesis (0 = unbounded)")
+    lint.add_argument("--uio-length", type=int, default=None)
+    lint.add_argument("--transfer-length", type=int, default=1)
+    lint.add_argument("--scan-ratio", type=int, default=1)
+    lint.set_defaults(func=_cmd_lint)
 
     everything = sub.add_parser("all", help="regenerate every table")
     add_common(everything, with_circuit_list=True)

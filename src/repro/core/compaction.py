@@ -18,7 +18,7 @@ Two mechanisms from the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Hashable, Iterable, Sequence
+from typing import Callable, Hashable, Iterable
 
 from repro.core.testset import ScanTest, TestSet
 from repro.errors import GenerationError

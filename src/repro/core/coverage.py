@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.testset import ScanTest, SegmentKind, TestSet
+from repro.core.testset import SegmentKind, TestSet
 from repro.errors import GenerationError
 from repro.fsm.state_table import StateTable
 

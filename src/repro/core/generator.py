@@ -368,6 +368,12 @@ def generate_tests(
     """
     if config is None:
         config = GeneratorConfig()
+    # Cheap static preflight (lazy import: repro.lint builds on this package).
+    # Rejects malformed tables — out-of-range entries, inconsistent shapes —
+    # with a precise diagnostic before the expensive UIO search starts.
+    from repro.lint.preflight import preflight_machine
+
+    preflight_machine(table, GenerationError)
     started = time.perf_counter()
     generator = _Generator(table, config, uio_table)
     generator.run()

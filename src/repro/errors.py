@@ -59,3 +59,11 @@ class FaultSimulationError(ReproError):
 
 class BenchmarkError(ReproError):
     """An unknown benchmark circuit was requested."""
+
+
+class LintError(ReproError):
+    """A static-analysis preflight found ERROR-level diagnostics.
+
+    Raised by :meth:`repro.lint.LintReport.raise_on_errors` when no more
+    specific :class:`ReproError` subclass fits the calling context.
+    """

@@ -26,16 +26,129 @@ from fully enumerated minterms.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.lint import LintReport
 
 import numpy as np
 
 from repro.errors import IncompleteMachineError, KissFormatError
 from repro.fsm.state_table import StateTable
 
-__all__ = ["KissRow", "KissMachine", "parse_kiss", "write_kiss", "expand_cube"]
+__all__ = [
+    "KissRow",
+    "KissMachine",
+    "CubeAnomaly",
+    "CubeExpansion",
+    "expand_machine",
+    "parse_kiss",
+    "write_kiss",
+    "expand_cube",
+]
 
 _ANY_STATE = "*"
+
+
+@dataclass(frozen=True)
+class CubeAnomaly:
+    """One cube-level defect found while expanding a machine.
+
+    ``kind`` is ``"width"`` (a cube narrower/wider than the declared
+    ``.i``/``.o`` counts) or ``"conflict"`` (two rows assign different
+    behaviour to the same (state, input) entry — nondeterminism).
+    """
+
+    kind: str
+    message: str
+    row_index: int
+    state: str = ""
+    combination: int = -1
+
+
+@dataclass
+class CubeExpansion:
+    """Dense expansion of a :class:`KissMachine`, defects included.
+
+    This is the shared primitive behind both :meth:`KissMachine.to_state_table`
+    (which raises on the first anomaly) and the FSM lint rules (which report
+    every anomaly as a diagnostic).  ``next_state`` holds ``-1`` for
+    unspecified entries; ``holes`` lists them explicitly.
+    """
+
+    names: list[str]
+    next_state: np.ndarray
+    output: np.ndarray
+    anomalies: list[CubeAnomaly]
+    holes: list[tuple[int, int]]
+
+    @property
+    def conflicts(self) -> list[CubeAnomaly]:
+        return [a for a in self.anomalies if a.kind == "conflict"]
+
+    @property
+    def width_errors(self) -> list[CubeAnomaly]:
+        return [a for a in self.anomalies if a.kind == "width"]
+
+
+def expand_machine(machine: "KissMachine") -> CubeExpansion:
+    """Expand every cube of ``machine``, collecting defects instead of raising.
+
+    Rows whose cube widths mismatch the declared counts are recorded and
+    skipped; conflicting assignments keep the first row's behaviour and
+    record the conflict.  Anomalies appear in row order, so the first one is
+    the same defect the legacy fail-fast path reported.
+    """
+    names = machine.state_names()
+    index = {name: i for i, name in enumerate(names)}
+    n_states = len(names)
+    n_cols = 1 << machine.n_inputs
+    next_state = np.full((n_states, n_cols), -1, dtype=np.int32)
+    output = np.zeros((n_states, n_cols), dtype=np.int64)
+    anomalies: list[CubeAnomaly] = []
+    for row_index, row in enumerate(machine.rows):
+        if len(row.input_cube) != machine.n_inputs:
+            anomalies.append(CubeAnomaly(
+                "width",
+                f"row {row}: input cube width != .i {machine.n_inputs}",
+                row_index,
+            ))
+            continue
+        if len(row.output_cube) != machine.n_outputs:
+            anomalies.append(CubeAnomaly(
+                "width",
+                f"row {row}: output cube width != .o {machine.n_outputs}",
+                row_index,
+            ))
+            continue
+        out_value = (
+            int(row.output_cube.replace("-", "0"), 2) if machine.n_outputs else 0
+        )
+        presents = (
+            range(n_states) if row.present == _ANY_STATE else (index[row.present],)
+        )
+        nxt = index[row.next]
+        for combo in expand_cube(row.input_cube):
+            for present in presents:
+                previous = next_state[present, combo]
+                if previous != -1 and (
+                    previous != nxt or output[present, combo] != out_value
+                ):
+                    anomalies.append(CubeAnomaly(
+                        "conflict",
+                        f"conflicting rows for state {names[present]!r} "
+                        f"under input {combo:0{machine.n_inputs}b}",
+                        row_index,
+                        names[present],
+                        combo,
+                    ))
+                    continue
+                next_state[present, combo] = nxt
+                output[present, combo] = out_value
+    holes = [
+        (int(state), int(combo)) for state, combo in zip(*np.nonzero(next_state == -1))
+    ]
+    return CubeExpansion(names, next_state, output, anomalies, holes)
 
 
 @dataclass(frozen=True)
@@ -92,50 +205,41 @@ class KissMachine:
         reset state (first state) with an all-zero output — mirroring how a
         synthesized implementation with unused codes behaves.
         """
-        names = self.state_names()
-        if not names:
+        expansion = expand_machine(self)
+        if not expansion.names:
             raise KissFormatError("machine has no states")
-        index = {name: i for i, name in enumerate(names)}
-        n_states = len(names)
-        n_cols = 1 << self.n_inputs
-        next_state = np.full((n_states, n_cols), -1, dtype=np.int32)
-        output = np.zeros((n_states, n_cols), dtype=np.int64)
-        for row in self.rows:
-            if len(row.input_cube) != self.n_inputs:
-                raise KissFormatError(
-                    f"row {row}: input cube width != .i {self.n_inputs}"
-                )
-            if len(row.output_cube) != self.n_outputs:
-                raise KissFormatError(
-                    f"row {row}: output cube width != .o {self.n_outputs}"
-                )
-            out_value = int(row.output_cube.replace("-", "0"), 2) if self.n_outputs else 0
-            presents = range(n_states) if row.present == _ANY_STATE else (index[row.present],)
-            nxt = index[row.next]
-            for combo in expand_cube(row.input_cube):
-                for present in presents:
-                    previous = next_state[present, combo]
-                    if previous != -1 and (
-                        previous != nxt or output[present, combo] != out_value
-                    ):
-                        raise KissFormatError(
-                            f"conflicting rows for state {names[present]!r} "
-                            f"under input {combo:0{self.n_inputs}b}"
-                        )
-                    next_state[present, combo] = nxt
-                    output[present, combo] = out_value
-        holes = int((next_state == -1).sum())
-        if holes:
+        # Lint-backed preflight: the same expansion feeds the FSM analyzer
+        # (rules FSM001/FSM002/FSM006); ERROR-level findings surface here as
+        # the established exception types, first defect first.
+        if expansion.anomalies:
+            raise KissFormatError(expansion.anomalies[0].message)
+        next_state, output = expansion.next_state, expansion.output
+        if expansion.holes:
             if not fill_unspecified:
                 raise IncompleteMachineError(
-                    f"{holes} unspecified (state, input) entries; "
+                    f"{len(expansion.holes)} unspecified (state, input) entries; "
                     "pass fill_unspecified=True to complete them"
                 )
             output[next_state == -1] = 0
             next_state[next_state == -1] = 0
         return StateTable(
-            next_state, output, self.n_inputs, self.n_outputs, names, self.name
+            next_state,
+            output,
+            self.n_inputs,
+            self.n_outputs,
+            expansion.names,
+            self.name,
         )
+
+    def lint(self) -> "LintReport":
+        """Static diagnostics for this machine (a :class:`repro.lint.LintReport`).
+
+        Imported lazily to keep :mod:`repro.fsm` free of an import cycle with
+        the analyzer package, which itself builds on this module.
+        """
+        from repro.lint import analyze_machine
+
+        return analyze_machine(self)
 
     def __iter__(self) -> Iterator[KissRow]:
         return iter(self.rows)

@@ -29,13 +29,13 @@ both produce identical detection masks.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.core.testset import ScanTest
 from repro.errors import FaultSimulationError
 from repro.fsm.state_table import StateTable
 from repro.gatelevel.fault_sim import Fault, _Batch
-from repro.gatelevel.netlist import GateType, Netlist
+from repro.gatelevel.netlist import GateType
 from repro.gatelevel.scan import ScanCircuit
 
 __all__ = ["CompiledFaultSimulator"]

@@ -276,6 +276,12 @@ def detects(
     """The subset of ``faults`` that ``test`` detects."""
     if batch_bits < 1:
         raise FaultSimulationError("batch_bits must be >= 1")
+    # Structural preflight, memoized per netlist: combinational cycles,
+    # undriven nets, and arity violations would silently corrupt the
+    # forward sweep below, so they are rejected up front.
+    from repro.lint.preflight import preflight_netlist
+
+    preflight_netlist(circuit.netlist, FaultSimulationError)
     fault_list = list(faults)
     found: set[Fault] = set()
     for start in range(0, len(fault_list), batch_bits):

@@ -249,16 +249,18 @@ class Netlist:
         return matrix
 
     def check(self) -> None:
-        """Structural sanity check; raises :class:`NetlistError` on trouble."""
-        for gate in self._gates:
-            for fanin in gate.fanins:
-                if fanin >= gate.index:
-                    raise NetlistError(
-                        f"gate {gate.index} reads line {fanin} that is not "
-                        "earlier in topological order"
-                    )
-        if not self._outputs:
-            raise NetlistError("netlist has no outputs")
+        """Structural sanity check; raises :class:`NetlistError` on trouble.
+
+        Delegates to the netlist analyzer (:mod:`repro.lint.netlist_rules`),
+        so construction-time call sites catch combinational cycles, undriven
+        nets, arity violations, and missing outputs — not just the
+        topological-order fragment this method used to enforce.  The import
+        is lazy because the analyzer builds on this module.
+        """
+        from repro.lint.netlist_rules import analyze_netlist
+
+        report = analyze_netlist(self, errors_only=True)
+        report.raise_on_errors(NetlistError)
 
     # ----------------------------------------------------------- evaluation
 

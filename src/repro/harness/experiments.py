@@ -21,7 +21,6 @@ from typing import Sequence
 
 from repro.benchmarks import circuit_names, get_spec, load_circuit, load_kiss_machine
 from repro.benchmarks.paper_data import PAPER_TABLE8, PAPER_TABLE9
-from repro.core.baseline import per_transition_tests
 from repro.core.compaction import EffectiveSelection, select_effective_tests
 from repro.core.config import GeneratorConfig
 from repro.core.generator import GenerationResult, generate_tests

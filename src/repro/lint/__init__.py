@@ -1,0 +1,57 @@
+"""Rule-based static analysis for state tables, netlists, and test programs.
+
+The paper's procedure silently assumes well-formed inputs: a completely
+specified, deterministic Mealy machine, netlists free of combinational
+cycles, tests whose structured claims (segments, landings, coverage
+credits) actually hold.  This package makes those assumptions checkable —
+every artifact the pipeline consumes or produces can be swept by a registry
+of :class:`~repro.lint.registry.Rule` classes producing
+:class:`~repro.lint.diagnostics.Diagnostic` findings, before the expensive
+UIO search or fault simulation ever runs.
+
+Three analyzers cover the three artifact kinds:
+
+* :func:`analyze_machine` — KISS machines and dense state tables
+  (completeness, determinism, reachability, trap states, equivalent state
+  pairs, cube/output widths, KISS round-trip, table domains);
+* :func:`analyze_netlist` — netlists and scan circuits (combinational
+  cycles via SCC detection, undriven nets, dangling logic, fanin arity,
+  missing outputs, scan-chain integrity);
+* :func:`analyze_test_program` — generated scan tests against their machine
+  (UIO length caps, landing states, input ranges, coverage claims and
+  gaps, transfer length caps).
+
+The ``repro-fsatpg lint`` CLI subcommand runs all three over benchmark
+circuits or KISS2 files with human-readable or SARIF-like JSON output; the
+library itself wires the cheap ERROR-level subset in as preflight checks
+(:mod:`repro.lint.preflight`) inside ``generate_tests``, the fault
+simulator, ``Netlist.check()``, and the KISS expansion.
+"""
+
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+from repro.lint.registry import Rule, all_rules, get_rule, register, rules_for
+from repro.lint.fsm_rules import MachineArtifact, analyze_machine, lint_kiss_source
+from repro.lint.netlist_rules import NetlistArtifact, analyze_netlist
+from repro.lint.test_rules import TestProgramArtifact, analyze_test_program
+from repro.lint.preflight import forget_netlist, preflight_machine, preflight_netlist
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "Rule",
+    "register",
+    "rules_for",
+    "get_rule",
+    "all_rules",
+    "MachineArtifact",
+    "analyze_machine",
+    "lint_kiss_source",
+    "NetlistArtifact",
+    "analyze_netlist",
+    "TestProgramArtifact",
+    "analyze_test_program",
+    "preflight_machine",
+    "preflight_netlist",
+    "forget_netlist",
+]

@@ -1,0 +1,221 @@
+"""Diagnostics and reports produced by the static analyzers.
+
+A :class:`Diagnostic` is one finding: a rule id, a severity, a logical
+location inside the analyzed artifact, a human message, and an optional fix
+hint.  A :class:`LintReport` is an ordered, immutable collection of findings
+with the aggregation helpers the CLI and the preflight hooks build on:
+severity filters, exit-code logic, human rendering, and a SARIF-like JSON
+serialization (``version``/``runs``/``results``, the subset of SARIF 2.1.0
+that generic viewers understand).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import LintError, ReproError
+
+__all__ = ["Severity", "Diagnostic", "LintReport", "cap_diagnostics"]
+
+#: Findings emitted per (rule, artifact) before the remainder is summarized.
+MAX_PER_RULE = 25
+
+
+class Severity(enum.IntEnum):
+    """Severity levels, ordered so that ``max()`` picks the worst."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def sarif_level(self) -> str:
+        """The SARIF ``level`` string for this severity."""
+        return {"INFO": "note", "WARNING": "warning", "ERROR": "error"}[self.name]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    ``location`` is a logical path inside the artifact (``"state s3"``,
+    ``"gate g17"``, ``"test 4, segment 2"``); ``artifact`` names the machine,
+    netlist, or test set the finding belongs to so that multi-circuit runs
+    stay attributable.
+    """
+
+    rule_id: str
+    severity: Severity
+    message: str
+    location: str = ""
+    hint: str = ""
+    artifact: str = ""
+
+    def format(self) -> str:
+        """One human-readable line (without the artifact prefix)."""
+        where = f" [{self.location}]" if self.location else ""
+        tail = f"  (hint: {self.hint})" if self.hint else ""
+        return f"{self.severity.name:7s} {self.rule_id}{where}: {self.message}{tail}"
+
+    def to_sarif(self) -> dict[str, object]:
+        """This finding as one SARIF ``result`` object."""
+        qualified = "/".join(part for part in (self.artifact, self.location) if part)
+        result: dict[str, object] = {
+            "ruleId": self.rule_id,
+            "level": self.severity.sarif_level,
+            "message": {"text": self.message},
+        }
+        if qualified:
+            result["locations"] = [
+                {"logicalLocations": [{"fullyQualifiedName": qualified}]}
+            ]
+        if self.hint:
+            result["properties"] = {"hint": self.hint}
+        return result
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """An immutable, ordered collection of diagnostics."""
+
+    diagnostics: tuple[Diagnostic, ...] = ()
+    #: rule metadata for the SARIF tool section: id -> (name, description)
+    rule_index: Mapping[str, tuple[str, str]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ aggregation
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def by_severity(self, severity: Severity) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.INFO)
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-level finding is present."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """True when there are no findings at all."""
+        return not self.diagnostics
+
+    def fired_rules(self) -> frozenset[str]:
+        """Rule ids with at least one finding."""
+        return frozenset(d.rule_id for d in self.diagnostics)
+
+    def merged(self, *others: "LintReport") -> "LintReport":
+        """This report plus ``others``, diagnostics concatenated in order."""
+        diagnostics = list(self.diagnostics)
+        rules = dict(self.rule_index)
+        for other in others:
+            diagnostics.extend(other.diagnostics)
+            rules.update(other.rule_index)
+        return LintReport(tuple(diagnostics), rules)
+
+    # --------------------------------------------------------------- actions
+
+    def raise_on_errors(self, exc_type: type[ReproError] = LintError) -> None:
+        """Raise ``exc_type`` summarizing the ERROR findings, if any."""
+        errors = self.errors
+        if not errors:
+            return
+        first = errors[0]
+        summary = first.message if not first.location else (
+            f"{first.location}: {first.message}"
+        )
+        if len(errors) > 1:
+            summary += f" (+{len(errors) - 1} more lint error"
+            summary += "s)" if len(errors) > 2 else ")"
+        raise exc_type(f"[{first.rule_id}] {summary}")
+
+    # ------------------------------------------------------------- rendering
+
+    def render(self, title: str = "") -> str:
+        """Human-readable multi-line report."""
+        lines: list[str] = []
+        counts = (
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.infos)} note(s)"
+        )
+        header = f"{title}: {counts}" if title else counts
+        lines.append(header)
+        current_artifact: str | None = None
+        for diagnostic in self.diagnostics:
+            if diagnostic.artifact != current_artifact:
+                current_artifact = diagnostic.artifact
+                if current_artifact:
+                    lines.append(f"  {current_artifact}:")
+            indent = "    " if diagnostic.artifact else "  "
+            lines.append(indent + diagnostic.format())
+        return "\n".join(lines)
+
+    def to_sarif(self) -> dict[str, object]:
+        """A SARIF-like document (the stable subset of SARIF 2.1.0)."""
+        rules = [
+            {
+                "id": rule_id,
+                "name": name,
+                "shortDescription": {"text": description},
+            }
+            for rule_id, (name, description) in sorted(self.rule_index.items())
+        ]
+        return {
+            "version": "2.1.0",
+            "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+            "runs": [
+                {
+                    "tool": {"driver": {"name": "repro-lint", "rules": rules}},
+                    "results": [d.to_sarif() for d in self.diagnostics],
+                }
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The SARIF-like document serialized as JSON text."""
+        return json.dumps(self.to_sarif(), indent=indent)
+
+
+def cap_diagnostics(
+    diagnostics: Iterable[Diagnostic], limit: int = MAX_PER_RULE
+) -> Iterator[Diagnostic]:
+    """Yield at most ``limit`` findings, then one summarizing the overflow.
+
+    The summary keeps the severity of the capped findings so that error
+    counts (and exit codes) never understate the situation.
+    """
+    buffered: list[Diagnostic] = []
+    overflow = 0
+    last: Diagnostic | None = None
+    for diagnostic in diagnostics:
+        if len(buffered) < limit:
+            buffered.append(diagnostic)
+        else:
+            overflow += 1
+            last = diagnostic
+    yield from buffered
+    if overflow and last is not None:
+        yield Diagnostic(
+            last.rule_id,
+            last.severity,
+            f"... and {overflow} more finding(s) of rule {last.rule_id}",
+            artifact=last.artifact,
+        )

@@ -1,0 +1,441 @@
+"""FSM lint rules: state tables and KISS machines.
+
+The analyzer accepts either a cube-level :class:`~repro.fsm.kiss.KissMachine`
+or a dense :class:`~repro.fsm.state_table.StateTable`.  Cube-level rules
+(completeness, determinism, cube widths) only apply to KISS machines — a
+dense table is complete and deterministic by construction — while the graph
+rules (reachability, trap states, equivalence, round-trip) run on the dense
+expansion either way.
+
+Rule ids
+--------
+======  ======================  ========  =========
+id      name                    severity  cost
+======  ======================  ========  =========
+FSM000  kiss-parse              ERROR     cheap
+FSM001  fsm-completeness        ERROR     cheap
+FSM002  fsm-determinism         ERROR     cheap
+FSM003  fsm-unreachable-state   WARNING   cheap
+FSM004  fsm-trap-state          WARNING   cheap
+FSM005  fsm-equivalent-states   WARNING   expensive
+FSM006  fsm-cube-width          ERROR     cheap
+FSM007  fsm-output-width        INFO      cheap
+FSM008  fsm-kiss-roundtrip      ERROR     expensive
+FSM009  fsm-table-domain        ERROR     cheap
+======  ======================  ========  =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.fsm.analysis import equivalence_classes, reachable_states
+from repro.fsm.kiss import (
+    CubeExpansion,
+    KissMachine,
+    expand_machine,
+    parse_kiss,
+    table_to_kiss,
+    write_kiss,
+)
+from repro.fsm.state_table import StateTable
+from repro.lint.diagnostics import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    cap_diagnostics,
+)
+from repro.lint.registry import Rule, register, rule_index, rules_for
+
+__all__ = ["MachineArtifact", "analyze_machine", "lint_kiss_source"]
+
+
+@dataclass
+class MachineArtifact:
+    """What the FSM rules see: the machine and/or its dense expansion.
+
+    ``table`` is ``None`` when the cube expansion had ERROR-level defects
+    (widths, conflicts) that make a dense table meaningless; graph rules
+    skip silently in that case and the cube rules carry the findings.
+    """
+
+    name: str
+    machine: KissMachine | None
+    expansion: CubeExpansion | None
+    table: StateTable | None
+
+    def state_name(self, state: int) -> str:
+        if self.table is not None:
+            return self.table.state_names[state]
+        if self.expansion is not None and state < len(self.expansion.names):
+            return self.expansion.names[state]
+        return f"s{state}"
+
+    def input_label(self, combination: int) -> str:
+        width = (
+            self.table.n_inputs if self.table is not None
+            else self.machine.n_inputs if self.machine is not None
+            else 0
+        )
+        return format(combination, f"0{width}b") if width else str(combination)
+
+
+@register
+class KissParseRule(Rule):
+    """Placeholder rule carrying KISS2 parse failures (see
+    :func:`lint_kiss_source`); never fires on an already-parsed machine."""
+
+    rule_id = "FSM000"
+    name = "kiss-parse"
+    severity = Severity.ERROR
+    domain = "fsm"
+    cost = "cheap"
+    description = "KISS2 document could not be parsed"
+
+    def check(self, context: MachineArtifact) -> Iterator[Diagnostic]:
+        return iter(())
+
+
+@register
+class CompletenessRule(Rule):
+    rule_id = "FSM001"
+    name = "fsm-completeness"
+    severity = Severity.ERROR
+    domain = "fsm"
+    cost = "cheap"
+    description = "every (state, input) entry must be specified"
+
+    def check(self, context: MachineArtifact) -> Iterator[Diagnostic]:
+        if context.expansion is None:
+            return
+        holes = context.expansion.holes
+        yield from cap_diagnostics(
+            self.diagnostic(
+                "unspecified transition: no row covers this entry",
+                location=(
+                    f"state {context.state_name(state)!r}, "
+                    f"input {context.input_label(combo)}"
+                ),
+                hint="add a row or expand with fill_unspecified=True",
+                artifact=context.name,
+            )
+            for state, combo in holes
+        )
+
+
+@register
+class DeterminismRule(Rule):
+    rule_id = "FSM002"
+    name = "fsm-determinism"
+    severity = Severity.ERROR
+    domain = "fsm"
+    cost = "cheap"
+    description = "no two rows may disagree on the same (state, input) entry"
+
+    def check(self, context: MachineArtifact) -> Iterator[Diagnostic]:
+        if context.expansion is None:
+            return
+        yield from cap_diagnostics(
+            self.diagnostic(
+                anomaly.message,
+                location=f"row {anomaly.row_index}",
+                hint="remove or reconcile the overlapping cubes",
+                artifact=context.name,
+            )
+            for anomaly in context.expansion.conflicts
+        )
+
+
+@register
+class UnreachableStateRule(Rule):
+    rule_id = "FSM003"
+    name = "fsm-unreachable-state"
+    severity = Severity.WARNING
+    domain = "fsm"
+    cost = "cheap"
+    description = "states unreachable from the reset state"
+
+    def check(self, context: MachineArtifact) -> Iterator[Diagnostic]:
+        table = context.table
+        if table is None or table.n_states < 2:
+            return
+        reachable = reachable_states(table, 0)
+        yield from cap_diagnostics(
+            self.diagnostic(
+                f"state {context.state_name(state)!r} is unreachable from "
+                f"the reset state {context.state_name(0)!r}",
+                location=f"state {context.state_name(state)!r}",
+                hint="harmless under full scan (scan-in reaches any state) "
+                "but dead weight in non-scan operation",
+                artifact=context.name,
+            )
+            for state in range(table.n_states)
+            if state not in reachable
+        )
+
+
+@register
+class TrapStateRule(Rule):
+    rule_id = "FSM004"
+    name = "fsm-trap-state"
+    severity = Severity.WARNING
+    domain = "fsm"
+    cost = "cheap"
+    description = "states every transition of which self-loops (no transfer out)"
+
+    def check(self, context: MachineArtifact) -> Iterator[Diagnostic]:
+        table = context.table
+        if table is None or table.n_states < 2:
+            return
+        nexts = np.asarray(table.next_state)
+        trapped = np.flatnonzero((nexts == np.arange(table.n_states)[:, None]).all(axis=1))
+        yield from cap_diagnostics(
+            self.diagnostic(
+                f"state {context.state_name(int(state))!r} loops to itself "
+                "under every input; no transfer sequence can leave it",
+                location=f"state {context.state_name(int(state))!r}",
+                hint="tests landing here must end with a scan-out",
+                artifact=context.name,
+            )
+            for state in trapped
+        )
+
+
+@register
+class EquivalentStatesRule(Rule):
+    rule_id = "FSM005"
+    name = "fsm-equivalent-states"
+    severity = Severity.WARNING
+    domain = "fsm"
+    cost = "expensive"
+    description = "equivalent state pairs (partition refinement); they have no UIO"
+
+    def check(self, context: MachineArtifact) -> Iterator[Diagnostic]:
+        table = context.table
+        if table is None:
+            return
+        def classes() -> Iterator[Diagnostic]:
+            for members in equivalence_classes(table):
+                if len(members) < 2:
+                    continue
+                names = ", ".join(
+                    repr(context.state_name(s)) for s in sorted(members)
+                )
+                yield self.diagnostic(
+                    f"states {names} are pairwise equivalent; no sequence "
+                    "distinguishes them, so none of them has a UIO",
+                    location=f"states {{{names}}}",
+                    hint="expected for completed machines (fill states); "
+                    "merge the states to obtain a reduced machine",
+                    artifact=context.name,
+                )
+        yield from cap_diagnostics(classes())
+
+
+@register
+class CubeWidthRule(Rule):
+    rule_id = "FSM006"
+    name = "fsm-cube-width"
+    severity = Severity.ERROR
+    domain = "fsm"
+    cost = "cheap"
+    description = "input/output cube widths must match the declared .i/.o counts"
+
+    def check(self, context: MachineArtifact) -> Iterator[Diagnostic]:
+        if context.expansion is None:
+            return
+        yield from cap_diagnostics(
+            self.diagnostic(
+                anomaly.message,
+                location=f"row {anomaly.row_index}",
+                hint="pad or trim the cube to the declared width",
+                artifact=context.name,
+            )
+            for anomaly in context.expansion.width_errors
+        )
+
+
+@register
+class OutputWidthRule(Rule):
+    rule_id = "FSM007"
+    name = "fsm-output-width"
+    severity = Severity.INFO
+    domain = "fsm"
+    cost = "cheap"
+    description = "declared output width wider than any output actually uses"
+
+    def check(self, context: MachineArtifact) -> Iterator[Diagnostic]:
+        table = context.table
+        if table is None or table.n_outputs == 0 or not table.output.size:
+            return
+        used = int(np.asarray(table.output).max())
+        needed = max(1, used.bit_length())
+        if needed < table.n_outputs:
+            yield self.diagnostic(
+                f"outputs declare {table.n_outputs} bits but only the low "
+                f"{needed} bit(s) are ever non-zero",
+                hint="the unused output lines are constant 0 in every "
+                "synthesized implementation",
+                artifact=context.name,
+            )
+
+
+@register
+class KissRoundTripRule(Rule):
+    rule_id = "FSM008"
+    name = "fsm-kiss-roundtrip"
+    severity = Severity.ERROR
+    domain = "fsm"
+    cost = "expensive"
+    description = "write_kiss -> parse_kiss -> expand must reproduce the machine"
+
+    def check(self, context: MachineArtifact) -> Iterator[Diagnostic]:
+        machine = context.machine
+        if machine is None:
+            if context.table is None:
+                return
+            machine = table_to_kiss(context.table)
+        try:
+            reparsed = parse_kiss(write_kiss(machine), name=machine.name)
+        except ReproError as exc:
+            yield self.diagnostic(
+                f"serialized machine failed to reparse: {exc}",
+                hint="state names containing '#', whitespace or '*' do not "
+                "survive the KISS2 text format",
+                artifact=context.name,
+            )
+            return
+        original = expand_machine(machine)
+        round_tripped = expand_machine(reparsed)
+        if original.names != round_tripped.names:
+            yield self.diagnostic(
+                "round trip changed the state set: "
+                f"{original.names} -> {round_tripped.names}",
+                artifact=context.name,
+            )
+            return
+        if not (
+            np.array_equal(original.next_state, round_tripped.next_state)
+            and np.array_equal(original.output, round_tripped.output)
+        ):
+            yield self.diagnostic(
+                "round trip through KISS2 text changed the transition "
+                "behaviour of the machine",
+                artifact=context.name,
+            )
+
+
+@register
+class TableDomainRule(Rule):
+    rule_id = "FSM009"
+    name = "fsm-table-domain"
+    severity = Severity.ERROR
+    domain = "fsm"
+    cost = "cheap"
+    description = "dense table entries must stay inside their declared domains"
+
+    def check(self, context: MachineArtifact) -> Iterator[Diagnostic]:
+        table = context.table
+        if table is None:
+            return
+        nexts = np.asarray(table.next_state)
+        outs = np.asarray(table.output)
+        if nexts.shape != outs.shape or nexts.ndim != 2:
+            yield self.diagnostic(
+                f"next-state shape {nexts.shape} and output shape "
+                f"{outs.shape} are inconsistent",
+                artifact=context.name,
+            )
+            return
+        if nexts.shape[1] != table.n_input_combinations:
+            yield self.diagnostic(
+                f"table has {nexts.shape[1]} input columns, "
+                f"2**{table.n_inputs} expected",
+                artifact=context.name,
+            )
+        if nexts.size and (nexts.min() < 0 or nexts.max() >= table.n_states):
+            yield self.diagnostic(
+                "next-state entries fall outside the state index range "
+                f"[0, {table.n_states})",
+                artifact=context.name,
+            )
+        if outs.size and (outs.min() < 0 or outs.max() >= (1 << table.n_outputs)):
+            yield self.diagnostic(
+                f"output entries do not fit in {table.n_outputs} output bits",
+                artifact=context.name,
+            )
+        if len(set(table.state_names)) != table.n_states:
+            yield self.diagnostic(
+                "state names are not unique",
+                artifact=context.name,
+            )
+
+
+def _build_artifact(
+    subject: KissMachine | StateTable, name: str
+) -> MachineArtifact:
+    if isinstance(subject, StateTable):
+        return MachineArtifact(name or subject.name, None, None, subject)
+    expansion = expand_machine(subject)
+    table: StateTable | None = None
+    if expansion.names and not expansion.anomalies:
+        next_state = expansion.next_state.copy()
+        output = expansion.output.copy()
+        output[next_state == -1] = 0
+        next_state[next_state == -1] = 0
+        table = StateTable(
+            next_state,
+            output,
+            subject.n_inputs,
+            subject.n_outputs,
+            expansion.names,
+            subject.name,
+        )
+    return MachineArtifact(name or subject.name, subject, expansion, table)
+
+
+def analyze_machine(
+    subject: KissMachine | StateTable,
+    *,
+    errors_only: bool = False,
+    include_expensive: bool = True,
+    name: str = "",
+) -> LintReport:
+    """Run the FSM rules over a machine or a dense state table.
+
+    ``errors_only`` restricts to ERROR-capable rules (the preflight mode);
+    ``include_expensive=False`` additionally skips whole-machine checks like
+    the KISS round trip and the equivalence partition.
+    """
+    rules = rules_for(
+        "fsm", errors_only=errors_only, include_expensive=include_expensive
+    )
+    artifact = _build_artifact(subject, name)
+    diagnostics: list[Diagnostic] = []
+    for rule in rules:
+        diagnostics.extend(rule.check(artifact))
+    return LintReport(tuple(diagnostics), rule_index(rules))
+
+
+def lint_kiss_source(text: str, name: str = "") -> LintReport:
+    """Lint a KISS2 document given as text.
+
+    Parse failures become an ``FSM000`` diagnostic instead of an exception,
+    so the CLI can lint arbitrary files without crashing.
+    """
+    try:
+        machine = parse_kiss(text, name=name)
+    except ReproError as exc:
+        rules = rules_for("fsm")
+        diagnostic = Diagnostic(
+            "FSM000",
+            Severity.ERROR,
+            f"KISS2 parse failed: {exc}",
+            artifact=name,
+        )
+        return LintReport((diagnostic,), rule_index(rules))
+    return analyze_machine(machine, name=name)

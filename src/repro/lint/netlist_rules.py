@@ -1,0 +1,391 @@
+"""Netlist lint rules: combinational netlists and scan circuits.
+
+The analyzer accepts a bare :class:`~repro.gatelevel.netlist.Netlist` or a
+:class:`~repro.gatelevel.scan.ScanCircuit` (which adds the scan-chain
+integrity rule).  The rules deliberately re-derive structure instead of
+trusting the construction-time invariants: a netlist assembled by custom
+synthesis code, deserialized, or mutated in place gets the same scrutiny as
+one built through the public API.
+
+Rule ids
+--------
+======  ================  ========  =========
+id      name              severity  cost
+======  ================  ========  =========
+NET001  net-cycle         ERROR     cheap
+NET002  net-undriven      ERROR     cheap
+NET003  net-dangling      WARNING   cheap
+NET004  net-fanin-arity   ERROR     cheap
+NET005  net-no-outputs    ERROR     cheap
+NET006  net-scan-chain    ERROR     cheap
+======  ================  ========  =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.gatelevel.netlist import _MAX_FANIN, _MIN_FANIN, GateType, Netlist
+from repro.gatelevel.scan import ScanCircuit
+from repro.lint.diagnostics import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    cap_diagnostics,
+)
+from repro.lint.registry import Rule, register, rule_index, rules_for
+
+__all__ = ["NetlistArtifact", "analyze_netlist", "strongly_connected_components"]
+
+
+@dataclass
+class NetlistArtifact:
+    """What the netlist rules see."""
+
+    name: str
+    netlist: Netlist
+    scan: ScanCircuit | None = None
+
+    def gate_label(self, index: int) -> str:
+        gates = self.netlist.gates
+        if 0 <= index < len(gates):
+            gate = gates[index]
+            label = gate.name or f"g{index}"
+            return f"{label} (line {index}, {gate.kind.value})"
+        return f"line {index}"
+
+
+def strongly_connected_components(
+    n_nodes: int, adjacency: Sequence[Sequence[int]]
+) -> list[list[int]]:
+    """Tarjan's SCC algorithm, iterative (safe for deep netlists).
+
+    ``adjacency[v]`` lists successor nodes; out-of-range entries are
+    ignored (they are reported by the undriven-net rule instead).
+    Components come back in reverse-topological discovery order, members
+    sorted ascending.
+    """
+    index_of = [-1] * n_nodes
+    lowlink = [0] * n_nodes
+    on_stack = [False] * n_nodes
+    stack: list[int] = []
+    components: list[list[int]] = []
+    counter = 0
+    for root in range(n_nodes):
+        if index_of[root] != -1:
+            continue
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            node, edge_pos = work[-1]
+            if edge_pos == 0:
+                index_of[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            advanced = False
+            successors = adjacency[node]
+            while edge_pos < len(successors):
+                successor = successors[edge_pos]
+                edge_pos += 1
+                if not 0 <= successor < n_nodes:
+                    continue
+                if index_of[successor] == -1:
+                    work[-1] = (node, edge_pos)
+                    work.append((successor, 0))
+                    advanced = True
+                    break
+                if on_stack[successor]:
+                    lowlink[node] = min(lowlink[node], index_of[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: list[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(sorted(component))
+    return components
+
+
+@register
+class CombinationalCycleRule(Rule):
+    rule_id = "NET001"
+    name = "net-cycle"
+    severity = Severity.ERROR
+    domain = "netlist"
+    cost = "cheap"
+    description = "combinational logic must be acyclic"
+
+    def check(self, context: NetlistArtifact) -> Iterator[Diagnostic]:
+        netlist = context.netlist
+        gates = netlist.gates
+        adjacency = [gate.fanins for gate in gates]
+
+        def cycles() -> Iterator[Diagnostic]:
+            for component in strongly_connected_components(len(gates), adjacency):
+                is_cycle = len(component) > 1 or (
+                    component[0] in gates[component[0]].fanins
+                )
+                if not is_cycle:
+                    continue
+                members = ", ".join(
+                    context.gate_label(index) for index in component[:6]
+                )
+                if len(component) > 6:
+                    members += f", ... ({len(component)} gates total)"
+                yield self.diagnostic(
+                    f"combinational cycle through {members}",
+                    location=f"lines {component[:6]}",
+                    hint="break the loop with a flip-flop or remove the "
+                    "feedback path",
+                    artifact=context.name,
+                )
+
+        yield from cap_diagnostics(cycles())
+
+
+@register
+class UndrivenNetRule(Rule):
+    rule_id = "NET002"
+    name = "net-undriven"
+    severity = Severity.ERROR
+    domain = "netlist"
+    cost = "cheap"
+    description = "every read line must be driven by an earlier gate"
+
+    def check(self, context: NetlistArtifact) -> Iterator[Diagnostic]:
+        netlist = context.netlist
+        n = netlist.n_gates
+
+        def findings() -> Iterator[Diagnostic]:
+            for gate in netlist.gates:
+                for pin, fanin in enumerate(gate.fanins):
+                    if not 0 <= fanin < n:
+                        yield self.diagnostic(
+                            f"gate {context.gate_label(gate.index)} reads "
+                            f"nonexistent line {fanin} (undriven net)",
+                            location=f"gate {gate.index}, pin {pin}",
+                            artifact=context.name,
+                        )
+                    elif fanin >= gate.index:
+                        yield self.diagnostic(
+                            f"gate {context.gate_label(gate.index)} reads line "
+                            f"{fanin} that is not earlier in topological order",
+                            location=f"gate {gate.index}, pin {pin}",
+                            hint="the forward sweep evaluates lines in index "
+                            "order, so this read sees a stale value",
+                            artifact=context.name,
+                        )
+            for position, line in enumerate(netlist.outputs):
+                if not 0 <= line < n:
+                    yield self.diagnostic(
+                        f"output {position} reads nonexistent line {line}",
+                        location=f"output {position}",
+                        artifact=context.name,
+                    )
+
+        yield from cap_diagnostics(findings())
+
+
+@register
+class DanglingGateRule(Rule):
+    rule_id = "NET003"
+    name = "net-dangling"
+    severity = Severity.WARNING
+    domain = "netlist"
+    cost = "cheap"
+    description = "logic from which no primary output is reachable"
+
+    def check(self, context: NetlistArtifact) -> Iterator[Diagnostic]:
+        netlist = context.netlist
+        n = netlist.n_gates
+        if not netlist.outputs:
+            return  # NET005 reports this; everything dangling would be noise
+        useful = [False] * n
+        stack = [line for line in netlist.outputs if 0 <= line < n]
+        for line in stack:
+            useful[line] = True
+        while stack:
+            line = stack.pop()
+            for fanin in netlist.gates[line].fanins:
+                if 0 <= fanin < n and not useful[fanin]:
+                    useful[fanin] = True
+                    stack.append(fanin)
+
+        def findings() -> Iterator[Diagnostic]:
+            for gate in netlist.gates:
+                if useful[gate.index]:
+                    continue
+                if gate.kind is GateType.INPUT:
+                    yield self.diagnostic(
+                        f"primary input {context.gate_label(gate.index)} "
+                        "reaches no output",
+                        location=f"gate {gate.index}",
+                        severity=Severity.INFO,
+                        artifact=context.name,
+                    )
+                else:
+                    yield self.diagnostic(
+                        f"gate {context.gate_label(gate.index)} reaches no "
+                        "output (dead logic)",
+                        location=f"gate {gate.index}",
+                        hint="remove the gate or wire it to an output",
+                        artifact=context.name,
+                    )
+
+        yield from cap_diagnostics(findings())
+
+
+@register
+class FaninArityRule(Rule):
+    rule_id = "NET004"
+    name = "net-fanin-arity"
+    severity = Severity.ERROR
+    domain = "netlist"
+    cost = "cheap"
+    description = "every gate's fanin count must fit its gate type"
+
+    def check(self, context: NetlistArtifact) -> Iterator[Diagnostic]:
+        def findings() -> Iterator[Diagnostic]:
+            for gate in context.netlist.gates:
+                minimum = _MIN_FANIN.get(gate.kind)
+                maximum = _MAX_FANIN.get(gate.kind)
+                if minimum is None:
+                    yield self.diagnostic(
+                        f"gate {context.gate_label(gate.index)} has unknown "
+                        f"type {gate.kind!r}",
+                        location=f"gate {gate.index}",
+                        artifact=context.name,
+                    )
+                    continue
+                if gate.n_fanins < minimum:
+                    yield self.diagnostic(
+                        f"{gate.kind.value} gate "
+                        f"{context.gate_label(gate.index)} has "
+                        f"{gate.n_fanins} fanin(s), needs at least {minimum}",
+                        location=f"gate {gate.index}",
+                        artifact=context.name,
+                    )
+                elif maximum is not None and gate.n_fanins > maximum:
+                    yield self.diagnostic(
+                        f"{gate.kind.value} gate "
+                        f"{context.gate_label(gate.index)} has "
+                        f"{gate.n_fanins} fanin(s), takes at most {maximum}",
+                        location=f"gate {gate.index}",
+                        artifact=context.name,
+                    )
+
+        yield from cap_diagnostics(findings())
+
+
+@register
+class NoOutputsRule(Rule):
+    rule_id = "NET005"
+    name = "net-no-outputs"
+    severity = Severity.ERROR
+    domain = "netlist"
+    cost = "cheap"
+    description = "a netlist must declare at least one output"
+
+    def check(self, context: NetlistArtifact) -> Iterator[Diagnostic]:
+        if not context.netlist.outputs:
+            yield self.diagnostic(
+                "netlist has no outputs",
+                hint="call set_outputs() with the observable lines",
+                artifact=context.name,
+            )
+
+
+@register
+class ScanChainRule(Rule):
+    rule_id = "NET006"
+    name = "net-scan-chain"
+    severity = Severity.ERROR
+    domain = "netlist"
+    cost = "cheap"
+    description = "scan circuit interface and state encoding must be consistent"
+
+    def check(self, context: NetlistArtifact) -> Iterator[Diagnostic]:
+        scan = context.scan
+        if scan is None:
+            return
+        netlist = context.netlist
+        sv = scan.n_state_variables
+        pi = scan.n_primary_inputs
+        po = scan.n_primary_outputs
+        if sv < 1:
+            yield self.diagnostic(
+                f"scan chain has {sv} flip-flops; at least one is required",
+                artifact=context.name,
+            )
+            return
+        if netlist.n_inputs != sv + pi:
+            yield self.diagnostic(
+                f"netlist has {netlist.n_inputs} inputs, scan interface "
+                f"declares {sv} state + {pi} primary inputs",
+                artifact=context.name,
+            )
+        if netlist.n_outputs != sv + po:
+            yield self.diagnostic(
+                f"netlist has {netlist.n_outputs} outputs, scan interface "
+                f"declares {sv} next-state + {po} primary outputs",
+                artifact=context.name,
+            )
+        encoding = scan.encoding
+        if encoding.width != sv:
+            yield self.diagnostic(
+                f"state encoding is {encoding.width} bits wide, scan chain "
+                f"has {sv} flip-flops",
+                artifact=context.name,
+            )
+        if len(set(encoding.codes)) != len(encoding.codes):
+            yield self.diagnostic(
+                "state encoding assigns the same scan code to two states",
+                artifact=context.name,
+            )
+        out_of_range = [
+            code for code in encoding.codes if not 0 <= code < (1 << sv)
+        ]
+        if out_of_range:
+            yield self.diagnostic(
+                f"scan codes {out_of_range[:5]} do not fit in {sv} bits",
+                artifact=context.name,
+            )
+        for j, line in enumerate(scan.circuit.next_state_lines):
+            if not 0 <= line < netlist.n_gates:
+                yield self.diagnostic(
+                    f"next-state line {j} references nonexistent line {line}",
+                    location=f"next-state bit {j}",
+                    artifact=context.name,
+                )
+
+
+def analyze_netlist(
+    subject: Netlist | ScanCircuit,
+    *,
+    errors_only: bool = False,
+    include_expensive: bool = True,
+    name: str = "",
+) -> LintReport:
+    """Run the netlist rules over a netlist or a full scan circuit."""
+    if isinstance(subject, ScanCircuit):
+        artifact = NetlistArtifact(
+            name or subject.name or subject.netlist.name, subject.netlist, subject
+        )
+    else:
+        artifact = NetlistArtifact(name or subject.name, subject, None)
+    rules = rules_for(
+        "netlist", errors_only=errors_only, include_expensive=include_expensive
+    )
+    diagnostics: list[Diagnostic] = []
+    for rule in rules:
+        diagnostics.extend(rule.check(artifact))
+    return LintReport(tuple(diagnostics), rule_index(rules))

@@ -1,0 +1,140 @@
+"""Rule base class and registry for the static analyzers.
+
+Every check is a :class:`Rule` subclass registered under a stable id
+(``FSM001``, ``NET004``, ``TST002``, ...) and a kebab-case name.  Rules are
+grouped into *domains* — ``"fsm"`` for state tables and KISS machines,
+``"netlist"`` for gate-level netlists and scan circuits, ``"test"`` for
+generated test programs — and carry a *cost* class so that the cheap
+preflight hooks inside the library can skip expensive whole-artifact checks
+(KISS round-trips, equivalence partitions) that only the CLI runs.
+
+Adding a rule is: subclass :class:`Rule`, decorate with :func:`register`,
+implement :meth:`Rule.check` yielding :class:`Diagnostic` objects.  The
+analyzers pick it up automatically and the CLI lists it in the SARIF rule
+index.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import ClassVar, Iterator
+
+from repro.errors import LintError
+from repro.lint.diagnostics import Diagnostic, Severity
+
+__all__ = ["Rule", "register", "rules_for", "get_rule", "all_rules", "rule_index"]
+
+#: Recognized rule domains.
+DOMAINS = ("fsm", "netlist", "test")
+
+#: Recognized cost classes.  ``"cheap"`` rules run in preflight hooks on
+#: every library call; ``"expensive"`` rules only run from the CLI / API.
+COSTS = ("cheap", "expensive")
+
+
+class Rule(abc.ABC):
+    """One static-analysis check.
+
+    Subclasses set the class attributes and implement :meth:`check`; the
+    context object passed in is domain-specific (see the rule modules).
+    """
+
+    rule_id: ClassVar[str]
+    name: ClassVar[str]
+    severity: ClassVar[Severity]  #: worst severity this rule can emit
+    domain: ClassVar[str]
+    cost: ClassVar[str] = "cheap"
+    description: ClassVar[str] = ""
+
+    @abc.abstractmethod
+    def check(self, context: object) -> Iterator[Diagnostic]:
+        """Yield findings for one artifact."""
+
+    def diagnostic(
+        self,
+        message: str,
+        location: str = "",
+        severity: Severity | None = None,
+        hint: str = "",
+        artifact: str = "",
+    ) -> Diagnostic:
+        """A finding attributed to this rule (severity defaults to the rule's)."""
+        return Diagnostic(
+            self.rule_id,
+            self.severity if severity is None else severity,
+            message,
+            location,
+            hint,
+            artifact,
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+_BY_NAME: dict[str, str] = {}
+
+
+def register(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator adding ``rule_class`` to the global registry."""
+    rule_id = getattr(rule_class, "rule_id", "")
+    name = getattr(rule_class, "name", "")
+    if not rule_id or not name:
+        raise LintError(f"rule {rule_class.__name__} lacks rule_id or name")
+    if rule_class.domain not in DOMAINS:
+        raise LintError(f"rule {rule_id} has unknown domain {rule_class.domain!r}")
+    if rule_class.cost not in COSTS:
+        raise LintError(f"rule {rule_id} has unknown cost {rule_class.cost!r}")
+    existing = _REGISTRY.get(rule_id)
+    if existing is not None and existing is not rule_class:
+        raise LintError(f"duplicate rule id {rule_id}")
+    if _BY_NAME.get(name, rule_id) != rule_id:
+        raise LintError(f"duplicate rule name {name}")
+    _REGISTRY[rule_id] = rule_class
+    _BY_NAME[name] = rule_id
+    return rule_class
+
+
+def get_rule(id_or_name: str) -> Rule:
+    """Instantiate the rule registered under an id or a name."""
+    rule_id = _BY_NAME.get(id_or_name, id_or_name)
+    try:
+        return _REGISTRY[rule_id]()
+    except KeyError:
+        raise LintError(f"unknown lint rule {id_or_name!r}") from None
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, ordered by rule id."""
+    return tuple(_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY))
+
+
+def rules_for(
+    domain: str,
+    *,
+    errors_only: bool = False,
+    include_expensive: bool = True,
+) -> tuple[Rule, ...]:
+    """Registered rules of ``domain``, ordered by id.
+
+    ``errors_only`` keeps only rules whose worst severity is ERROR (the
+    preflight mode — WARNING/INFO rules cannot affect control flow and are
+    skipped entirely); ``include_expensive=False`` drops expensive rules.
+    """
+    if domain not in DOMAINS:
+        raise LintError(f"unknown lint domain {domain!r}")
+    selected = []
+    for rule_id in sorted(_REGISTRY):
+        rule_class = _REGISTRY[rule_id]
+        if rule_class.domain != domain:
+            continue
+        if errors_only and rule_class.severity is not Severity.ERROR:
+            continue
+        if not include_expensive and rule_class.cost == "expensive":
+            continue
+        selected.append(rule_class())
+    return tuple(selected)
+
+
+def rule_index(rules: tuple[Rule, ...] | None = None) -> dict[str, tuple[str, str]]:
+    """``rule_id -> (name, description)`` map for the SARIF tool section."""
+    chosen = all_rules() if rules is None else rules
+    return {rule.rule_id: (rule.name, rule.description) for rule in chosen}

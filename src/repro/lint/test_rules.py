@@ -1,0 +1,326 @@
+"""Test-program lint rules: generated scan tests against their machine.
+
+The analyzer cross-checks a :class:`~repro.core.testset.TestSet` (plus the
+:class:`~repro.core.config.GeneratorConfig` and optional
+:class:`~repro.uio.search.UioTable` that produced it) against the state
+table it claims to test.  This is the proof-carrying-test view: the test
+program carries structured claims (segments, landings, per-transition
+credits) and every claim is re-derived from the machine definition.
+
+Rule ids
+--------
+======  ====================  ========  =========
+id      name                  severity  cost
+======  ====================  ========  =========
+TST001  test-uio-length       WARNING   cheap
+TST002  test-landing          ERROR     cheap
+TST003  test-input-range      ERROR     cheap
+TST004  test-coverage-claim   ERROR     cheap
+TST005  test-coverage-gap     WARNING   cheap
+TST006  test-transfer-length  WARNING   cheap
+======  ====================  ========  =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.core.config import GeneratorConfig
+from repro.core.testset import ScanTest, SegmentKind, TestSet
+from repro.fsm.state_table import StateTable
+from repro.lint.diagnostics import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    cap_diagnostics,
+)
+from repro.lint.registry import Rule, register, rule_index, rules_for
+from repro.uio.search import UioTable
+
+__all__ = ["TestProgramArtifact", "analyze_test_program"]
+
+
+@dataclass
+class TestProgramArtifact:
+    """What the test-program rules see."""
+
+    name: str
+    table: StateTable
+    tests: Sequence[ScanTest]
+    config: GeneratorConfig | None = None
+    uio_table: UioTable | None = None
+
+    @property
+    def uio_length_cap(self) -> int:
+        """The effective bound ``L`` the program was generated under."""
+        if self.config is not None:
+            return self.config.resolved_uio_length(self.table.n_state_variables)
+        if self.uio_table is not None:
+            return self.uio_table.max_length
+        return self.table.n_state_variables
+
+    def in_range(self, combination: int) -> bool:
+        return 0 <= combination < self.table.n_input_combinations
+
+    def test_label(self, index: int) -> str:
+        return f"test {index}"
+
+
+@register
+class UioLengthRule(Rule):
+    rule_id = "TST001"
+    name = "test-uio-length"
+    severity = Severity.WARNING
+    domain = "test"
+    cost = "cheap"
+    description = "UIO segments must respect the configured length cap L"
+
+    def check(self, context: TestProgramArtifact) -> Iterator[Diagnostic]:
+        cap = context.uio_length_cap
+
+        def findings() -> Iterator[Diagnostic]:
+            if context.uio_table is not None:
+                for sequence in context.uio_table:
+                    if sequence.length > cap:
+                        yield self.diagnostic(
+                            f"stored UIO for state {sequence.state} has length "
+                            f"{sequence.length}, cap is L = {cap}",
+                            location=f"uio-table state {sequence.state}",
+                            hint="recompute the UIO table with the same bound "
+                            "the generator uses",
+                            artifact=context.name,
+                        )
+            for test_index, test in enumerate(context.tests):
+                for seg_index, segment in enumerate(test.segments):
+                    if segment.kind is not SegmentKind.UIO:
+                        continue
+                    if len(segment.inputs) > cap:
+                        yield self.diagnostic(
+                            f"UIO segment of length {len(segment.inputs)} "
+                            f"exceeds the cap L = {cap}",
+                            location=(
+                                f"{context.test_label(test_index)}, "
+                                f"segment {seg_index}"
+                            ),
+                            hint="a UIO longer than L costs more cycles than "
+                            "the scan-out it replaces",
+                            artifact=context.name,
+                        )
+
+        yield from cap_diagnostics(findings())
+
+
+@register
+class LandingRule(Rule):
+    rule_id = "TST002"
+    name = "test-landing"
+    severity = Severity.ERROR
+    domain = "test"
+    cost = "cheap"
+    description = "segment chaining and final states must match the machine"
+
+    def check(self, context: TestProgramArtifact) -> Iterator[Diagnostic]:
+        table = context.table
+
+        def findings() -> Iterator[Diagnostic]:
+            for test_index, test in enumerate(context.tests):
+                if not 0 <= test.initial_state < table.n_states:
+                    continue  # TST003 reports out-of-range starts
+                state = test.initial_state
+                broken = False
+                for seg_index, segment in enumerate(test.segments):
+                    if segment.start_state != state:
+                        yield self.diagnostic(
+                            f"segment {seg_index} ({segment.kind.value}) claims "
+                            f"start state {segment.start_state}, the machine "
+                            f"is in state {state}",
+                            location=(
+                                f"{context.test_label(test_index)}, "
+                                f"segment {seg_index}"
+                            ),
+                            hint="a transfer sequence did not land on its "
+                            "claimed state",
+                            artifact=context.name,
+                        )
+                        broken = True
+                        break
+                    if not all(context.in_range(c) for c in segment.inputs):
+                        broken = True  # TST003 reports the bad input
+                        break
+                    state = table.final_state(state, segment.inputs)
+                if broken:
+                    continue
+                if not test.segments:
+                    if not all(context.in_range(c) for c in test.inputs):
+                        continue
+                    state = table.final_state(test.initial_state, test.inputs)
+                if state != test.final_state:
+                    yield self.diagnostic(
+                        f"test records final state {test.final_state}, the "
+                        f"machine reaches state {state}",
+                        location=context.test_label(test_index),
+                        hint="the scan-out comparison would flag a fault-free "
+                        "circuit as faulty",
+                        artifact=context.name,
+                    )
+
+        yield from cap_diagnostics(findings())
+
+
+@register
+class InputRangeRule(Rule):
+    rule_id = "TST003"
+    name = "test-input-range"
+    severity = Severity.ERROR
+    domain = "test"
+    cost = "cheap"
+    description = "tests may only reference existing states and input combinations"
+
+    def check(self, context: TestProgramArtifact) -> Iterator[Diagnostic]:
+        table = context.table
+
+        def findings() -> Iterator[Diagnostic]:
+            for test_index, test in enumerate(context.tests):
+                if not 0 <= test.initial_state < table.n_states:
+                    yield self.diagnostic(
+                        f"initial state {test.initial_state} is outside "
+                        f"[0, {table.n_states})",
+                        location=context.test_label(test_index),
+                        artifact=context.name,
+                    )
+                for position, combination in enumerate(test.inputs):
+                    if not context.in_range(combination):
+                        yield self.diagnostic(
+                            f"input combination {combination} at position "
+                            f"{position} is outside "
+                            f"[0, {table.n_input_combinations})",
+                            location=context.test_label(test_index),
+                            hint=f"the machine has {table.n_inputs} primary "
+                            "input bit(s)",
+                            artifact=context.name,
+                        )
+
+        yield from cap_diagnostics(findings())
+
+
+@register
+class CoverageClaimRule(Rule):
+    rule_id = "TST004"
+    name = "test-coverage-claim"
+    severity = Severity.ERROR
+    domain = "test"
+    cost = "cheap"
+    description = "claimed transitions must be exercised by a TRANSITION segment"
+
+    def check(self, context: TestProgramArtifact) -> Iterator[Diagnostic]:
+        def findings() -> Iterator[Diagnostic]:
+            for test_index, test in enumerate(context.tests):
+                exercised = {
+                    (segment.start_state, segment.inputs[0])
+                    for segment in test.segments
+                    if segment.kind is SegmentKind.TRANSITION
+                }
+                for state, combination in test.tested:
+                    if (state, combination) not in exercised:
+                        yield self.diagnostic(
+                            f"claims transition (state {state}, input "
+                            f"{combination}) but no TRANSITION segment "
+                            "exercises it",
+                            location=context.test_label(test_index),
+                            hint="the schedule never applies this input in "
+                            "this state, so the credit is unearned",
+                            artifact=context.name,
+                        )
+
+        yield from cap_diagnostics(findings())
+
+
+@register
+class CoverageGapRule(Rule):
+    rule_id = "TST005"
+    name = "test-coverage-gap"
+    severity = Severity.WARNING
+    domain = "test"
+    cost = "cheap"
+    description = "every machine transition should be claimed by some test"
+
+    def check(self, context: TestProgramArtifact) -> Iterator[Diagnostic]:
+        table = context.table
+        claimed: set[tuple[int, int]] = set()
+        for test in context.tests:
+            claimed.update(test.tested)
+        missing = [
+            (state, combination)
+            for state in range(table.n_states)
+            for combination in range(table.n_input_combinations)
+            if (state, combination) not in claimed
+        ]
+        if not missing:
+            return
+        examples = ", ".join(f"({s}, {c})" for s, c in missing[:5])
+        yield self.diagnostic(
+            f"{len(missing)} of {table.n_transitions} transitions are never "
+            f"claimed by any test, e.g. {examples}",
+            hint="transitions credited only incidentally (inside UIO or "
+            "transfer segments) are verified probabilistically at best",
+            artifact=context.name,
+        )
+
+
+@register
+class TransferLengthRule(Rule):
+    rule_id = "TST006"
+    name = "test-transfer-length"
+    severity = Severity.WARNING
+    domain = "test"
+    cost = "cheap"
+    description = "transfer segments must respect the configured length cap T"
+
+    def check(self, context: TestProgramArtifact) -> Iterator[Diagnostic]:
+        config = context.config
+        if config is None:
+            return
+        cap = config.max_transfer_length
+
+        def findings() -> Iterator[Diagnostic]:
+            for test_index, test in enumerate(context.tests):
+                for seg_index, segment in enumerate(test.segments):
+                    if segment.kind is not SegmentKind.TRANSFER:
+                        continue
+                    if cap == 0 or len(segment.inputs) > cap:
+                        yield self.diagnostic(
+                            f"transfer segment of length {len(segment.inputs)} "
+                            f"exceeds the cap T = {cap}",
+                            location=(
+                                f"{context.test_label(test_index)}, "
+                                f"segment {seg_index}"
+                            ),
+                            artifact=context.name,
+                        )
+
+        yield from cap_diagnostics(findings())
+
+
+def analyze_test_program(
+    table: StateTable,
+    tests: TestSet | Sequence[ScanTest],
+    config: GeneratorConfig | None = None,
+    uio_table: UioTable | None = None,
+    *,
+    errors_only: bool = False,
+    name: str = "",
+) -> LintReport:
+    """Run the test-program rules over ``tests`` against ``table``."""
+    if isinstance(tests, TestSet):
+        artifact_name = name or tests.machine_name or table.name
+        test_list: Sequence[ScanTest] = tests.tests
+    else:
+        artifact_name = name or table.name
+        test_list = list(tests)
+    artifact = TestProgramArtifact(artifact_name, table, test_list, config, uio_table)
+    rules = rules_for("test", errors_only=errors_only)
+    diagnostics: list[Diagnostic] = []
+    for rule in rules:
+        diagnostics.extend(rule.check(artifact))
+    return LintReport(tuple(diagnostics), rule_index(rules))

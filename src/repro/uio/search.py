@@ -27,7 +27,7 @@ representative per such input equivalence class is expanded
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping
+from typing import Iterator
 
 import numpy as np
 

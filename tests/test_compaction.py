@@ -7,7 +7,6 @@ import pytest
 from repro.core.baseline import per_transition_tests
 from repro.core.compaction import combine_tests, select_effective_tests
 from repro.core.coverage import verify_test_set
-from repro.core.generator import generate_tests
 from repro.errors import GenerationError
 
 

@@ -98,8 +98,6 @@ class TestCompletion:
 
     def test_completed_machine_fill_states_are_equivalent(self):
         """Multiple fill states must be pairwise equivalent (no UIOs)."""
-        from repro.fsm.analysis import equivalent_state_pairs
-
         builder = StateTableBuilder(n_inputs=1, n_outputs=1)
         builder.add("a", 0, "a", 0)
         builder.add("a", 1, "b", 1)

@@ -7,13 +7,12 @@ import pytest
 from repro.benchmarks import load_circuit, load_kiss_machine
 from repro.core.baseline import per_transition_tests
 from repro.core.generator import generate_tests
-from repro.core.testset import ScanTest, Segment, SegmentKind
-from repro.gatelevel.bridging import BridgeKind, BridgingFault, enumerate_bridging_faults
+from repro.gatelevel.bridging import enumerate_bridging_faults
 from repro.gatelevel.compiled import CompiledFaultSimulator
 from repro.gatelevel.detectability import detectable_faults
 from repro.gatelevel.fault_sim import detects, simulate_tests
 from repro.gatelevel.scan import ScanCircuit
-from repro.gatelevel.stuck_at import StuckAtFault, collapse_stuck_at, enumerate_stuck_at
+from repro.gatelevel.stuck_at import StuckAtFault, collapse_stuck_at
 from repro.gatelevel.synthesis import SynthesisOptions
 
 
@@ -138,8 +137,6 @@ class TestCompiledEquivalence:
 class TestPinFaultSemantics:
     def test_pin_fault_affects_only_reader(self):
         """A branch fault on one consumer must not disturb the other branch."""
-        from repro.fsm.builders import StateTableBuilder
-
         # Machine whose synthesized netlist shares a literal across terms is
         # implicitly exercised above; here check the scan-test mechanics on
         # lion against hand-computed behaviour of a single pin fault.

@@ -15,7 +15,7 @@ from repro.core.generator import generate_tests
 from repro.core.testset import baseline_clock_cycles
 from repro.fsm.state_table import StateTable
 from repro.uio.partial import pairwise_distinguishing_sequence
-from repro.uio.search import compute_uio_table, find_uio
+from repro.uio.search import compute_uio_table
 from repro.uio.transfer import find_transfer
 
 SETTINGS = settings(
