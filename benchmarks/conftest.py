@@ -2,9 +2,11 @@
 
 By default the benchmarks cover the small tier plus a few medium circuits so
 ``pytest benchmarks/ --benchmark-only`` completes in minutes.  Set
-``REPRO_FULL=1`` to sweep every circuit of the paper's tables (including
-``dvram``/``fetch``/``log``/``rie``/``nucpwr``), which can take hours — the
-paper's own Table 5 run took 4.3 days on ``nucpwr``.
+``REPRO_FULL=1`` (``true``/``yes``/``on`` also work) to sweep every circuit
+of the paper's tables (including ``dvram``/``fetch``/``log``/``rie``/
+``nucpwr``), which can take hours — the paper's own Table 5 run took 4.3
+days on ``nucpwr``.  Set ``REPRO_JOBS=N`` to precompute every study with
+the parallel engine before the timed benchmarks run.
 """
 
 from __future__ import annotations
@@ -15,7 +17,32 @@ import pytest
 
 from repro.benchmarks import circuit_names
 
-FULL = bool(int(os.environ.get("REPRO_FULL", "0")))
+
+def _flag(name: str, default: str = "0") -> bool:
+    """Tolerant boolean env parsing: 1/true/yes/on vs 0/false/no/off."""
+    raw = os.environ.get(name, default).strip().lower()
+    if raw in ("", "0", "false", "no", "off"):
+        return False
+    if raw in ("1", "true", "yes", "on"):
+        return True
+    try:
+        return bool(int(raw))
+    except ValueError:
+        # Any other non-empty value counts as opting in rather than
+        # aborting collection with a ValueError (e.g. REPRO_FULL=enabled).
+        return True
+
+
+def _jobs(name: str = "REPRO_JOBS") -> int:
+    raw = os.environ.get(name, "").strip()
+    try:
+        return max(1, int(raw)) if raw else 1
+    except ValueError:
+        return 1
+
+
+FULL = _flag("REPRO_FULL")
+JOBS = _jobs()
 
 #: circuits benchmarked by default (small tier + representative medium)
 DEFAULT_CIRCUITS = tuple(sorted(circuit_names("small"))) + ("bbara", "ex4", "mark1")
@@ -38,3 +65,17 @@ def gate_level_circuits() -> tuple[str, ...]:
 @pytest.fixture(scope="session")
 def full_mode() -> bool:
     return FULL
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _parallel_warmup() -> None:
+    """With REPRO_JOBS>1, fill the study cache via the parallel engine.
+
+    The timed benchmark bodies then measure table assembly over
+    precomputed (bit-identical) artifacts instead of redoing the whole
+    pipeline serially inside every benchmark round.
+    """
+    if JOBS > 1:
+        from repro.harness.experiments import warm_studies
+
+        warm_studies(gate_level_circuits(), jobs=JOBS)

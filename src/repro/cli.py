@@ -11,6 +11,13 @@ Subcommands
 ``all``        — regenerate every table over a tier
 ``lint``       — static analysis of machines, netlists, and test programs
 ``claims``     — run the reproduction certificate (exit 1 on any failure)
+``bench``      — serial vs parallel vs warm-cache timing (BENCH_perf.json)
+``cache``      — inspect (``info``) or wipe (``clear``) the artifact cache
+
+Table-regeneration commands accept ``--jobs N`` to fan the per-circuit
+pipeline across worker processes and ``--cache-dir PATH`` to reuse
+artifacts (UIO tables, synthesized netlists, detectability sets, compiled
+simulator source) across invocations; results are identical either way.
 
 Examples
 --------
@@ -225,9 +232,61 @@ def _cmd_claims(args: argparse.Namespace) -> int:
 
     circuits = _circuit_list(args) if args.circuits or args.tier != "default" \
         else None
+    if circuits is not None:
+        _warm(args, circuits, _options_from(args))
     results = verify_claims(circuits, _options_from(args))
     print(render_claims(results))
     return 0 if all(result.passed for result in results) else 1
+
+
+def _warm(args: argparse.Namespace, circuits: tuple[str, ...],
+          options: StudyOptions) -> None:
+    """Fan the per-circuit pipeline across processes before rendering."""
+    jobs = getattr(args, "jobs", 1) or 1
+    if jobs > 1 and circuits:
+        experiments.warm_studies(circuits, options, jobs=jobs)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import main as bench_main
+
+    argv: list[str] = ["--jobs", str(args.jobs), "-o", args.output]
+    if args.circuits:
+        argv += ["--circuits", args.circuits]
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
+    if args.quick:
+        argv.append("--quick")
+    return bench_main(argv)
+
+
+def _cache_root(args: argparse.Namespace) -> str | None:
+    root = getattr(args, "cache_dir", None)
+    return None if root in (None, "", "default") else root
+
+
+def _cmd_cache_info(args: argparse.Namespace) -> int:
+    from repro.perf.cache import ArtifactCache
+
+    info = ArtifactCache(_cache_root(args)).info()
+    print(f"root      {info['root']}")
+    print(f"format    {info['format']}")
+    versions = " ".join(f"{k}={v}" for k, v in sorted(info["versions"].items()))
+    print(f"versions  {versions}")
+    for kind, stats in sorted(info["kinds"].items()):
+        print(f"  {kind:<18} {stats['entries']:6d} entries  "
+              f"{stats['bytes']:12,d} bytes")
+    print(f"total     {info['entries']} entries, {info['bytes']:,} bytes")
+    return 0
+
+
+def _cmd_cache_clear(args: argparse.Namespace) -> int:
+    from repro.perf.cache import ArtifactCache
+
+    cache = ArtifactCache(_cache_root(args))
+    removed = cache.clear()
+    print(f"removed {removed} cached artifact(s) from {cache.root}")
+    return 0
 
 
 def _table_command(number: int):
@@ -246,7 +305,9 @@ def _table_command(number: int):
             )
         else:
             function = getattr(experiments, f"table{number}")
-            rows = function(_circuit_list(args), options)
+            circuits = _circuit_list(args)
+            _warm(args, circuits, options)
+            rows = function(circuits, options)
         print(render(number, rows, csv=getattr(args, "csv", False)))
         return 0
 
@@ -256,6 +317,7 @@ def _table_command(number: int):
 def _cmd_all(args: argparse.Namespace) -> int:
     options = _options_from(args)
     circuits = _circuit_list(args)
+    _warm(args, circuits, options)
     print(render(2, experiments.table2("lion", options)))
     print()
     print(render(3, experiments.table3("lion", options)))
@@ -343,6 +405,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max bridging line pairs (0 = unlimited)")
         p.add_argument("--csv", action="store_true",
                        help="emit CSV instead of the fixed-width table")
+        if with_circuit_list:
+            p.add_argument("--jobs", type=int, default=1,
+                           help="worker processes for the per-circuit "
+                           "pipeline (1 = serial)")
+        p.add_argument("--cache-dir", default=None, metavar="PATH",
+                       help="enable the artifact cache rooted at PATH "
+                       "('default' = ~/.cache/repro-fsatpg)")
 
     for number in range(2, 10):
         help_text = {
@@ -398,6 +467,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_common(claims, with_circuit_list=True)
     claims.set_defaults(func=_cmd_claims)
+
+    bench = sub.add_parser(
+        "bench",
+        help="serial vs parallel vs warm-cache sweep timing (BENCH_perf.json)",
+    )
+    bench.add_argument("--circuits", default="",
+                       help="comma-separated circuit names")
+    bench.add_argument("--jobs", type=int, default=4,
+                       help="worker processes for the parallel runs")
+    bench.add_argument("--cache-dir", default=None, metavar="PATH",
+                       help="cache directory for the cold/warm runs")
+    bench.add_argument("--quick", action="store_true",
+                       help="tiny circuit set for smoke runs")
+    bench.add_argument("-o", "--output", default="BENCH_perf.json",
+                       help="report path ('-' prints JSON to stdout)")
+    bench.set_defaults(func=_cmd_bench)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk artifact cache"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    for name, help_text, function in (
+        ("info", "show cache location, entry counts, and sizes", _cmd_cache_info),
+        ("clear", "remove every cached artifact", _cmd_cache_clear),
+    ):
+        p = cache_sub.add_parser(name, help=help_text)
+        p.add_argument("--cache-dir", default=None, metavar="PATH",
+                       help="cache root (default: ~/.cache/repro-fsatpg)")
+        p.set_defaults(func=function, cache_management=True)
     return parser
 
 
@@ -413,6 +511,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     _normalize(args)
     try:
+        # `bench` and `cache` manage the cache themselves; everything else
+        # opts in through --cache-dir (artifacts are then reused across
+        # invocations, including by the worker processes of --jobs).
+        if (
+            getattr(args, "cache_dir", None)
+            and not getattr(args, "cache_management", False)
+            and args.command != "bench"
+        ):
+            from repro.perf.cache import cache_enabled
+
+            with cache_enabled(_cache_root(args)):
+                return args.func(args)
         return args.func(args)
     except BrokenPipeError:  # output piped into e.g. `head`: not an error
         return 0

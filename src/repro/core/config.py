@@ -1,13 +1,59 @@
-"""Configuration of the test generation procedure."""
+"""Configuration of the test generation and fault simulation procedures."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import GenerationError
+from repro.errors import FaultSimulationError, GenerationError
 from repro.uio.search import DEFAULT_NODE_BUDGET
 
-__all__ = ["GeneratorConfig"]
+__all__ = [
+    "GeneratorConfig",
+    "FaultSimConfig",
+    "DEFAULT_BATCH_BITS_CAP",
+    "adaptive_batch_bits",
+]
+
+#: Upper bound on faults packed per big-int batch word.  Larger batches
+#: amortize per-gate Python overhead; beyond a few thousand bits the big-int
+#: arithmetic itself starts to dominate.
+DEFAULT_BATCH_BITS_CAP = 2048
+
+
+def adaptive_batch_bits(n_faults: int, cap: int = DEFAULT_BATCH_BITS_CAP) -> int:
+    """Batch width (bits) sized to the fault universe.
+
+    Small universes get exactly-sized words instead of paying for
+    ``cap``-bit arithmetic; universes above the cap are split into balanced
+    batches (``ceil(n / ceil(n / cap))``), so e.g. 2049 faults become two
+    ~1025-bit batches rather than a 2048-bit word plus a 1-bit straggler.
+    """
+    if cap < 1:
+        raise FaultSimulationError("batch bit cap must be >= 1")
+    if n_faults <= cap:
+        return max(1, n_faults)
+    n_batches = -(-n_faults // cap)
+    return -(-n_faults // n_batches)
+
+
+@dataclass(frozen=True)
+class FaultSimConfig:
+    """Knobs of the bit-parallel fault simulator.
+
+    ``max_batch_bits`` caps the number of faults packed into one big-int
+    word; the actual width adapts downward to the universe size
+    (:func:`adaptive_batch_bits`).
+    """
+
+    max_batch_bits: int = DEFAULT_BATCH_BITS_CAP
+
+    def __post_init__(self) -> None:
+        if self.max_batch_bits < 1:
+            raise FaultSimulationError("max_batch_bits must be >= 1")
+
+    def resolved_batch_bits(self, n_faults: int) -> int:
+        """The effective batch width for a universe of ``n_faults``."""
+        return adaptive_batch_bits(n_faults, self.max_batch_bits)
 
 
 @dataclass(frozen=True)

@@ -61,7 +61,15 @@ class StateTable:
         Optional machine name (benchmark circuit name).
     """
 
-    __slots__ = ("next_state", "output", "n_inputs", "n_outputs", "state_names", "name")
+    __slots__ = (
+        "next_state",
+        "output",
+        "n_inputs",
+        "n_outputs",
+        "state_names",
+        "name",
+        "_hash",
+    )
 
     def __init__(
         self,
@@ -115,9 +123,26 @@ class StateTable:
         object.__setattr__(self, "n_outputs", int(n_outputs))
         object.__setattr__(self, "state_names", state_names)
         object.__setattr__(self, "name", str(name))
+        object.__setattr__(self, "_hash", None)
 
     def __setattr__(self, key: str, value: object) -> None:  # immutability guard
         raise AttributeError("StateTable is immutable")
+
+    def __reduce__(self) -> tuple:
+        # __slots__ plus the immutability guard break the default pickle
+        # protocol (slot-state restore uses setattr); rebuild through the
+        # constructor instead.  Needed so tables travel to worker processes.
+        return (
+            StateTable,
+            (
+                self.next_state,
+                self.output,
+                self.n_inputs,
+                self.n_outputs,
+                self.state_names,
+                self.name,
+            ),
+        )
 
     # ------------------------------------------------------------------ sizes
 
@@ -253,15 +278,23 @@ class StateTable:
         )
 
     def __hash__(self) -> int:
-        return hash(
-            (
-                self.n_inputs,
-                self.n_outputs,
-                self.state_names,
-                self.next_state.tobytes(),
-                self.output.tobytes(),
+        # Memoized: tables are hashed repeatedly as memoization keys (e.g.
+        # input-class representatives), and hashing serializes both arrays.
+        if self._hash is None:
+            object.__setattr__(
+                self,
+                "_hash",
+                hash(
+                    (
+                        self.n_inputs,
+                        self.n_outputs,
+                        self.state_names,
+                        self.next_state.tobytes(),
+                        self.output.tobytes(),
+                    )
+                ),
             )
-        )
+        return self._hash
 
     def __repr__(self) -> str:
         label = f" {self.name!r}" if self.name else ""

@@ -96,6 +96,44 @@ class CompiledFaultSimulator:
         return f"({body})"
 
     def _compile(self):
+        """Compiled ``(_eff, _raw)`` functions, with source-level caching.
+
+        Generating straight-line source for a big circuit is itself
+        noticeable; when an artifact cache is active the generated source
+        strings are stored keyed by netlist structure + fault universe, so
+        warm runs go straight to ``compile``/``exec``.
+        """
+        # Lazy import: repro.perf imports this module.
+        from repro.perf.artifacts import fault_universe_parts, netlist_parts
+        from repro.perf.cache import active_cache, artifact_key
+
+        cache = active_cache()
+        key = ""
+        sources: tuple[str, str | None] | None = None
+        if cache is not None:
+            key = artifact_key(
+                "simulator-source",
+                netlist_parts(self.circuit.netlist),
+                fault_universe_parts(self.faults),
+            )
+            sources = cache.get("simulator-source", key)
+        if sources is None:
+            sources = self._generate_sources()
+            if cache is not None:
+                cache.put("simulator-source", key, sources)
+        eff_source, raw_source = sources
+        namespace: dict[str, object] = {}
+        exec(compile(eff_source, "<compiled-fault-sim>", "exec"), namespace)
+        eff_fn = namespace["_eff"]
+        raw_fn = None
+        if raw_source is not None:
+            namespace = {}
+            exec(compile(raw_source, "<compiled-fault-sim-raw>", "exec"), namespace)
+            raw_fn = namespace["_raw"]
+        return eff_fn, raw_fn
+
+    def _generate_sources(self) -> tuple[str, str | None]:
+        """The ``_eff`` (and, with bridges, ``_raw``) function sources."""
         netlist = self.circuit.netlist
         ones = self.ones
         store = self._batch.store_force
@@ -158,20 +196,16 @@ class CompiledFaultSimulator:
                 source.append(f"    f{line} = " + " | ".join(terms))
         source += body_lines(apply_bridges=True)
         source.append(f"    return ({returns},)")
-        namespace: dict[str, object] = {}
-        exec(compile("\n".join(source), "<compiled-fault-sim>", "exec"), namespace)
-        eff_fn = namespace["_eff"]
+        eff_source = "\n".join(source)
 
-        raw_fn = None
+        raw_source = None
         if self._bridge_lines:
             raw_returns = ", ".join(f"v{line}" for line in self._bridge_lines)
             source = ["def _raw(a):"]
             source += body_lines(apply_bridges=False)
             source.append(f"    return ({raw_returns},)")
-            namespace = {}
-            exec(compile("\n".join(source), "<compiled-fault-sim-raw>", "exec"), namespace)
-            raw_fn = namespace["_raw"]
-        return eff_fn, raw_fn
+            raw_source = "\n".join(source)
+        return eff_source, raw_source
 
     # ------------------------------------------------------------ execution
 

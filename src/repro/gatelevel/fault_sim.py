@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+from repro.core.config import DEFAULT_BATCH_BITS_CAP, adaptive_batch_bits
 from repro.core.testset import ScanTest, TestSet
 from repro.errors import FaultSimulationError
 from repro.fsm.state_table import StateTable
@@ -45,15 +46,16 @@ __all__ = [
     "simulate_tests",
     "detects",
     "make_simulator",
+    "adaptive_batch_bits",
     "DEFAULT_BATCH_BITS",
 ]
 
 Fault = StuckAtFault | BridgingFault
 
-#: Faults packed per batch word.  Larger batches amortize the per-gate
-#: Python overhead; beyond a few thousand bits the big-int arithmetic
-#: itself starts to dominate.
-DEFAULT_BATCH_BITS = 2048
+#: Back-compat alias: the *cap* on faults packed per batch word.  The
+#: effective width now adapts to the universe size — see
+#: :func:`repro.core.config.adaptive_batch_bits`.
+DEFAULT_BATCH_BITS = DEFAULT_BATCH_BITS_CAP
 
 
 @dataclass
@@ -271,10 +273,14 @@ def detects(
     table: StateTable,
     test: ScanTest,
     faults: Iterable[Fault],
-    batch_bits: int = DEFAULT_BATCH_BITS,
+    batch_bits: int | None = None,
 ) -> set[Fault]:
-    """The subset of ``faults`` that ``test`` detects."""
-    if batch_bits < 1:
+    """The subset of ``faults`` that ``test`` detects.
+
+    ``batch_bits=None`` (the default) sizes batches adaptively from the
+    fault count, capped at :data:`DEFAULT_BATCH_BITS`.
+    """
+    if batch_bits is not None and batch_bits < 1:
         raise FaultSimulationError("batch_bits must be >= 1")
     # Structural preflight, memoized per netlist: combinational cycles,
     # undriven nets, and arity violations would silently corrupt the
@@ -283,6 +289,8 @@ def detects(
 
     preflight_netlist(circuit.netlist, FaultSimulationError)
     fault_list = list(faults)
+    if batch_bits is None:
+        batch_bits = adaptive_batch_bits(len(fault_list))
     found: set[Fault] = set()
     for start in range(0, len(fault_list), batch_bits):
         chunk = fault_list[start : start + batch_bits]

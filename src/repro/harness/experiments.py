@@ -26,19 +26,24 @@ from repro.core.config import GeneratorConfig
 from repro.core.generator import GenerationResult, generate_tests
 from repro.core.testset import baseline_clock_cycles
 from repro.gatelevel.bridging import BridgingFault, enumerate_bridging_faults
-from repro.gatelevel.detectability import detectable_faults
 from repro.gatelevel.compiled import CompiledFaultSimulator
 from repro.gatelevel.scan import ScanCircuit
 from repro.gatelevel.stuck_at import StuckAtFault, collapse_stuck_at
 from repro.gatelevel.synthesis import SynthesisOptions
-from repro.harness.runtime import stopwatch
+from repro.harness.runtime import StageTimings
 from repro.harness.tables import format_csv, format_table
 from repro.uio.search import UioTable, compute_uio_table
+
+# NOTE: repro.perf is imported inside the methods that use it.
+# ``repro.harness.__init__`` eagerly imports this module, and
+# ``repro.perf.artifacts`` imports ``repro.harness.runtime`` — a module-level
+# import here would make either import order circular.
 
 __all__ = [
     "StudyOptions",
     "CircuitStudy",
     "get_study",
+    "warm_studies",
     "table2",
     "table3",
     "table4",
@@ -89,11 +94,13 @@ class CircuitStudy:
 
     @cached_property
     def _uio(self) -> tuple[UioTable, float]:
+        from repro.perf.artifacts import cached_uio_table
+
         config = self.options.config
         length = config.resolved_uio_length(self.table.n_state_variables)
-        with stopwatch() as clock:
-            uio = compute_uio_table(self.table, length, config.uio_node_budget)
-        return uio, clock.elapsed_s
+        return cached_uio_table(
+            self.table, length, config.uio_node_budget, circuit=self.name
+        )
 
     @property
     def uio_table(self) -> UioTable:
@@ -119,11 +126,14 @@ class CircuitStudy:
 
     @cached_property
     def scan_circuit(self) -> ScanCircuit:
-        circuit = ScanCircuit.from_machine(
-            load_kiss_machine(self.name), self.options.synthesis
+        from repro.perf.artifacts import cached_scan_circuit
+
+        return cached_scan_circuit(
+            load_kiss_machine(self.name),
+            self.options.synthesis,
+            self.table,
+            circuit=self.name,
         )
-        circuit.verify_against(self.table)
-        return circuit
 
     @cached_property
     def stuck_at_faults(self) -> list[StuckAtFault]:
@@ -132,7 +142,11 @@ class CircuitStudy:
 
     @cached_property
     def stuck_at_detectability(self) -> tuple[set, set]:
-        return detectable_faults(self.scan_circuit.netlist, self.stuck_at_faults)
+        from repro.perf.artifacts import cached_detectability
+
+        return cached_detectability(
+            self.scan_circuit.netlist, self.stuck_at_faults, circuit=self.name
+        )
 
     @cached_property
     def stuck_at_selection(self) -> EffectiveSelection:
@@ -157,7 +171,11 @@ class CircuitStudy:
 
     @cached_property
     def bridging_detectability(self) -> tuple[set, set]:
-        return detectable_faults(self.scan_circuit.netlist, self.bridging_faults)
+        from repro.perf.artifacts import cached_detectability
+
+        return cached_detectability(
+            self.scan_circuit.netlist, self.bridging_faults, circuit=self.name
+        )
 
     @cached_property
     def bridging_selection(self) -> EffectiveSelection:
@@ -187,6 +205,29 @@ def get_study(name: str, options: StudyOptions | None = None) -> CircuitStudy:
     if key not in _STUDIES:
         _STUDIES[key] = CircuitStudy(name, options)
     return _STUDIES[key]
+
+
+def warm_studies(
+    circuits: Sequence[str],
+    options: StudyOptions | None = None,
+    *,
+    jobs: int = 1,
+    timings: StageTimings | None = None,
+):
+    """Precompute every study artifact with the parallel engine.
+
+    Runs :func:`repro.perf.engine.compute_studies` across ``jobs`` worker
+    processes and installs the results into the module-level study cache, so
+    subsequent ``tableN`` calls are pure lookups.  Results are bit-identical
+    to the serial path for any ``jobs``.  Returns the per-circuit
+    :class:`~repro.perf.engine.StudyArtifacts` mapping.
+    """
+    from repro.perf.engine import compute_studies
+
+    artifacts = compute_studies(circuits, options, jobs=jobs, timings=timings)
+    for name, computed in artifacts.items():
+        computed.install(get_study(name, options))
+    return artifacts
 
 
 def _resolve(circuits: Sequence[str] | None) -> tuple[str, ...]:

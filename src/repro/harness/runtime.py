@@ -1,12 +1,21 @@
-"""Small timing helpers for the experiment harness."""
+"""Timing helpers for the experiment harness and the perf engine.
+
+:class:`Stopwatch`/:func:`stopwatch` time a single block.  :class:`StageTimings`
+extends that into structured per-stage records — one :class:`StageRecord` per
+(circuit, stage) pair, each tagged with whether the artifact cache served it —
+plus cache hit/miss counters.  The perf engine merges the timings of its
+worker processes into one object, and ``repro-fsatpg bench`` serializes them
+into ``BENCH_perf.json``.
+"""
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Iterator
 
-__all__ = ["Stopwatch", "stopwatch"]
+__all__ = ["Stopwatch", "stopwatch", "StageRecord", "StageTimings"]
 
 
 class Stopwatch:
@@ -33,3 +42,109 @@ def stopwatch() -> Iterator[Stopwatch]:
         yield clock
     finally:
         clock.elapsed_s = time.perf_counter() - started
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """One timed pipeline stage of one circuit.
+
+    ``cache`` is ``"hit"``/``"miss"`` when the artifact cache was consulted
+    and ``""`` when the stage does not go through the cache at all.
+    """
+
+    circuit: str
+    stage: str
+    seconds: float
+    cache: str = ""
+
+
+class StageTimings:
+    """Accumulates :class:`StageRecord` entries across circuits and processes.
+
+    The container is picklable (plain lists and ints), so worker processes
+    return their timings in task results and the scheduler merges them.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[StageRecord] = []
+        self.cache_hits: int = 0
+        self.cache_misses: int = 0
+
+    # ------------------------------------------------------------ recording
+
+    def add(self, circuit: str, stage: str, seconds: float, cache: str = "") -> None:
+        self.records.append(StageRecord(circuit, stage, seconds, cache))
+        if cache == "hit":
+            self.cache_hits += 1
+        elif cache == "miss":
+            self.cache_misses += 1
+
+    @contextmanager
+    def stage(self, circuit: str, stage: str) -> Iterator[Stopwatch]:
+        """Time one stage and record it::
+
+            with timings.stage("lion", "uio"):
+                compute()
+        """
+        with stopwatch() as clock:
+            yield clock
+        self.add(circuit, stage, clock.elapsed_s)
+
+    def merge(self, other: "StageTimings") -> None:
+        """Fold another timings object (e.g. from a worker) into this one."""
+        self.records.extend(other.records)
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+
+    # ------------------------------------------------------------ reporting
+
+    def total(self, stage: str | None = None, circuit: str | None = None) -> float:
+        """Summed seconds, optionally filtered by stage and/or circuit."""
+        return sum(
+            record.seconds
+            for record in self.records
+            if (stage is None or record.stage == stage)
+            and (circuit is None or record.circuit == circuit)
+        )
+
+    def stages(self) -> tuple[str, ...]:
+        """Distinct stage names in first-seen order."""
+        seen: dict[str, None] = {}
+        for record in self.records:
+            seen.setdefault(record.stage, None)
+        return tuple(seen)
+
+    def circuits(self) -> tuple[str, ...]:
+        """Distinct circuit names in first-seen order."""
+        seen: dict[str, None] = {}
+        for record in self.records:
+            if record.circuit:
+                seen.setdefault(record.circuit, None)
+        return tuple(seen)
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (the ``BENCH_perf.json`` per-run block)."""
+        return {
+            "stage_seconds": {name: self.total(stage=name) for name in self.stages()},
+            "per_circuit": {
+                circuit: {
+                    "seconds": self.total(circuit=circuit),
+                    "stages": {
+                        name: self.total(stage=name, circuit=circuit)
+                        for name in self.stages()
+                        if any(
+                            r.circuit == circuit and r.stage == name
+                            for r in self.records
+                        )
+                    },
+                }
+                for circuit in self.circuits()
+            },
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<StageTimings {len(self.records)} records, "
+            f"{self.cache_hits} hits / {self.cache_misses} misses>"
+        )

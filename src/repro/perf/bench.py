@@ -1,0 +1,193 @@
+"""Perf benchmark harness: ``repro-fsatpg bench`` / ``scripts/bench_perf.py``.
+
+One bench invocation measures three runs over the same circuit set and
+writes the result as ``BENCH_perf.json``:
+
+``serial_cold``
+    ``jobs=1``, no artifact cache — the baseline the paper-table harness
+    used before the perf engine existed.
+``parallel_cold``
+    ``jobs=N`` against a freshly cleared cache directory: measures the
+    parallel speedup and fills the cache.
+``parallel_warm``
+    ``jobs=N`` against the now-warm cache: UIO search, synthesis +
+    verification, and the detectability oracle are all served as hits
+    (``stage_seconds`` collapse to ~0 and ``cache.hits`` counts them).
+
+Every run's artifacts are reduced to a timing-free signature
+(:meth:`~repro.perf.engine.StudyArtifacts.signature`) and compared; any
+difference is reported under ``divergence`` and makes the CLI exit
+non-zero.  Timing numbers never fail the bench — only result divergence
+does — so CI can run this on noisy shared runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.harness.runtime import StageTimings, stopwatch
+from repro.perf.cache import cache_enabled, default_cache_dir
+from repro.perf.engine import StudyArtifacts, compute_studies
+
+__all__ = ["BENCH_SCHEMA", "default_bench_circuits", "run_bench", "main"]
+
+#: Schema tag stored in BENCH_perf.json; bump when the layout changes.
+BENCH_SCHEMA = "repro-fsatpg-bench/1"
+
+#: Circuits for ``--quick`` (CI smoke): small machines with non-trivial
+#: bridging universes, a few seconds per run.
+QUICK_CIRCUITS = ("lion", "mc", "train11", "bbtas")
+
+
+def default_bench_circuits(quick: bool = False) -> tuple[str, ...]:
+    """The default benchmark set: small tier + representative medium."""
+    if quick:
+        return QUICK_CIRCUITS
+    from repro.benchmarks import circuit_names
+
+    return tuple(sorted(circuit_names("small"))) + ("bbara", "ex4", "mark1")
+
+
+def _run(
+    circuits: Sequence[str],
+    jobs: int,
+    options: Any,
+) -> tuple[dict[str, StudyArtifacts], dict[str, Any]]:
+    timings = StageTimings()
+    with stopwatch() as clock:
+        artifacts = compute_studies(circuits, options, jobs=jobs, timings=timings)
+    record = {"jobs": jobs, "wall_s": clock.elapsed_s}
+    record.update(timings.to_dict())
+    return artifacts, record
+
+
+def _compare(
+    reference: dict[str, StudyArtifacts],
+    candidate: dict[str, StudyArtifacts],
+    label: str,
+) -> list[str]:
+    problems: list[str] = []
+    for name in reference:
+        left = reference[name].signature()
+        right = candidate[name].signature()
+        if left != right:
+            fields = sorted(key for key in left if left[key] != right[key])
+            problems.append(f"{label}: circuit {name} differs in {', '.join(fields)}")
+    return problems
+
+
+def run_bench(
+    circuits: Sequence[str] | None = None,
+    *,
+    jobs: int = 4,
+    cache_root: str | Path | None = None,
+    quick: bool = False,
+    options: Any = None,
+) -> dict[str, Any]:
+    """Serial-cold vs parallel-cold vs parallel-warm; returns the report."""
+    from repro.harness.experiments import StudyOptions
+
+    names = tuple(circuits) if circuits else default_bench_circuits(quick)
+    options = options or StudyOptions()
+    root = (
+        Path(cache_root).expanduser()
+        if cache_root is not None
+        else default_cache_dir() / "bench"
+    )
+
+    serial, serial_record = _run(names, 1, options)
+
+    with cache_enabled(root) as cache:
+        cache.clear()
+        parallel_cold, cold_record = _run(names, jobs, options)
+        parallel_warm, warm_record = _run(names, jobs, options)
+
+    divergence = _compare(serial, parallel_cold, "parallel-cold vs serial")
+    divergence += _compare(serial, parallel_warm, "parallel-warm vs serial")
+
+    serial_wall = serial_record["wall_s"]
+    cold_wall = cold_record["wall_s"]
+    return {
+        "schema": BENCH_SCHEMA,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "circuits": list(names),
+        "jobs": jobs,
+        "cache_dir": str(root),
+        "runs": {
+            "serial_cold": serial_record,
+            "parallel_cold": cold_record,
+            "parallel_warm": warm_record,
+        },
+        "speedup_parallel_cold": serial_wall / cold_wall if cold_wall else 0.0,
+        "speedup_parallel_warm": (
+            serial_wall / warm_record["wall_s"] if warm_record["wall_s"] else 0.0
+        ),
+        "identical": not divergence,
+        "divergence": divergence,
+    }
+
+
+def _summarize(report: dict[str, Any]) -> str:
+    lines = [
+        f"bench: {len(report['circuits'])} circuits, jobs={report['jobs']}",
+    ]
+    for label, record in report["runs"].items():
+        cache = record["cache"]
+        lines.append(
+            f"  {label:<14} {record['wall_s']:8.2f}s  "
+            f"(cache {cache['hits']}h/{cache['misses']}m)"
+        )
+    lines.append(
+        f"  speedup cold {report['speedup_parallel_cold']:.2f}x, "
+        f"warm {report['speedup_parallel_warm']:.2f}x"
+    )
+    lines.append(
+        "  results identical across runs"
+        if report["identical"]
+        else "  DIVERGENCE: " + "; ".join(report["divergence"])
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_perf",
+        description="Measure serial vs parallel vs warm-cache sweep times "
+        "and write BENCH_perf.json.",
+    )
+    parser.add_argument("--circuits", default="",
+                        help="comma-separated circuit names")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker processes for the parallel runs")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache directory for the cold/warm runs "
+                        "(default: <cache>/bench; cleared before the cold run)")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny circuit set for CI smoke runs")
+    parser.add_argument("-o", "--output", default="BENCH_perf.json",
+                        help="report path ('-' prints JSON to stdout)")
+    args = parser.parse_args(argv)
+
+    circuits = tuple(
+        name.strip() for name in args.circuits.split(",") if name.strip()
+    ) or None
+    report = run_bench(
+        circuits, jobs=max(1, args.jobs), cache_root=args.cache_dir,
+        quick=args.quick,
+    )
+    text = json.dumps(report, indent=2, sort_keys=False)
+    if args.output == "-":
+        print(text)
+    else:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output}")
+    print(_summarize(report))
+    return 0 if report["identical"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

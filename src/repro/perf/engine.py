@@ -1,0 +1,373 @@
+"""Parallel sweep engine: fan :class:`CircuitStudy` stages across processes.
+
+The engine decomposes the per-circuit pipeline into three phases:
+
+1. **Prepare** (one task per circuit): UIO table, functional test generation,
+   synthesis + verification, fault enumeration, and the exhaustive
+   detectability oracle.  The artifact cache serves UIO tables, synthesized
+   circuits, and detectability partitions across runs.
+2. **Simulate** (one task per fault chunk): every (circuit, fault model)
+   universe is split into chunks; each task compiles a fault simulator for
+   its chunk and produces one detection mask per test.  Chunking is sound
+   because detection of a fault never depends on which other faults share
+   the batch word — each bit is its own machine (see
+   :mod:`repro.gatelevel.compiled`).
+3. **Select** (main process): chunk masks are merged into per-test detected
+   sets, and :func:`~repro.core.compaction.select_effective_tests` replays
+   the paper's longest-first effective-test selection against them.
+
+Because phase 3 feeds the selection exactly the sets a full-universe
+simulator would have produced, the engine's results are **bit-identical** to
+the serial :class:`~repro.harness.experiments.CircuitStudy` path for any
+``jobs`` value — ``jobs=1`` simply runs the same staged code inline, and a
+pool that cannot be created (restricted environments) degrades to the same
+serial path.  Result ordering is deterministic: the returned mapping follows
+the caller's circuit order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.benchmarks import load_circuit, load_kiss_machine
+from repro.core.compaction import EffectiveSelection, select_effective_tests
+from repro.core.config import adaptive_batch_bits
+from repro.core.generator import GenerationResult, generate_tests
+from repro.core.testset import ScanTest
+from repro.fsm.state_table import StateTable
+from repro.gatelevel.bridging import enumerate_bridging_faults
+from repro.gatelevel.compiled import CompiledFaultSimulator
+from repro.gatelevel.scan import ScanCircuit
+from repro.gatelevel.stuck_at import collapse_stuck_at
+from repro.harness.runtime import StageTimings, stopwatch
+from repro.perf.artifacts import (
+    STAGE_FAULT_SIM,
+    STAGE_GENERATION,
+    Fault,
+    cached_detectability,
+    cached_scan_circuit,
+    cached_uio_table,
+)
+from repro.perf.cache import ArtifactCache, active_cache, set_active_cache
+from repro.uio.search import UioTable
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a module cycle
+    from repro.harness.experiments import CircuitStudy, StudyOptions
+
+__all__ = ["StudyArtifacts", "compute_studies"]
+
+
+@dataclass
+class StudyArtifacts:
+    """Everything a :class:`CircuitStudy` lazily computes, fully materialized.
+
+    :meth:`install` seeds a study's ``cached_property`` slots so subsequent
+    table regeneration reuses the engine's results without recomputing.
+    """
+
+    name: str
+    uio: tuple[UioTable, float]
+    generation: GenerationResult
+    scan_circuit: ScanCircuit
+    stuck_at_faults: list[Fault]
+    stuck_at_detectability: tuple[set[Fault], set[Fault]]
+    stuck_at_selection: EffectiveSelection
+    bridging_faults: list[Fault]
+    bridging_detectability: tuple[set[Fault], set[Fault]]
+    bridging_selection: EffectiveSelection
+
+    def install(self, study: "CircuitStudy") -> None:
+        """Seed ``study``'s cached properties with these artifacts."""
+        values = {
+            "_uio": self.uio,
+            "generation": self.generation,
+            "scan_circuit": self.scan_circuit,
+            "stuck_at_faults": self.stuck_at_faults,
+            "stuck_at_detectability": self.stuck_at_detectability,
+            "stuck_at_selection": self.stuck_at_selection,
+            "bridging_faults": self.bridging_faults,
+            "bridging_detectability": self.bridging_detectability,
+            "bridging_selection": self.bridging_selection,
+        }
+        # cached_property stores its result under the attribute name in the
+        # instance __dict__; pre-populating it is the documented way to seed.
+        study.__dict__.update(values)
+
+    def signature(self) -> dict[str, Any]:
+        """Timing-free summary used to compare runs for divergence."""
+        uio, _ = self.uio
+        return {
+            "uio_found": uio.n_found,
+            "uio_max_len": uio.max_found_length,
+            "tests": self.generation.n_tests,
+            "test_length": self.generation.total_length,
+            "stuck_at": _selection_signature(self.stuck_at_selection),
+            "bridging": _selection_signature(self.bridging_selection),
+        }
+
+
+def _selection_signature(selection: EffectiveSelection) -> dict[str, Any]:
+    return {
+        "n_faults": selection.n_faults,
+        "n_effective": selection.n_effective,
+        "effective_length": selection.effective_length,
+        "detected": sorted(repr(fault) for fault in selection.detected),
+        "rows": [
+            (str(test), count, effective)
+            for test, count, effective in selection.rows
+        ],
+    }
+
+
+# ------------------------------------------------------------ phase 1: prep
+
+
+@dataclass
+class _CircuitPrep:
+    """Per-circuit result of phase 1 (picklable worker payload)."""
+
+    name: str
+    uio: tuple[UioTable, float]
+    generation: GenerationResult
+    scan_circuit: ScanCircuit
+    stuck_at_faults: list[Fault]
+    stuck_at_detectability: tuple[set[Fault], set[Fault]]
+    bridging_faults: list[Fault]
+    bridging_detectability: tuple[set[Fault], set[Fault]]
+    #: tests in the exact order the effective-test selection simulates them
+    tests: tuple[ScanTest, ...]
+    timings: StageTimings
+
+
+def _prepare_circuit(payload: tuple[str, "StudyOptions"]) -> _CircuitPrep:
+    name, options = payload
+    timings = StageTimings()
+    table = load_circuit(name)
+    config = options.config
+    length = config.resolved_uio_length(table.n_state_variables)
+    uio = cached_uio_table(
+        table, length, config.uio_node_budget, circuit=name, timings=timings
+    )
+    with timings.stage(name, STAGE_GENERATION):
+        generation = generate_tests(table, config, uio[0])
+    scan = cached_scan_circuit(
+        load_kiss_machine(name), options.synthesis, table,
+        circuit=name, timings=timings,
+    )
+    stuck_at: list[Fault] = sorted(set(collapse_stuck_at(scan.netlist).values()))
+    stuck_at_detectability = cached_detectability(
+        scan.netlist, stuck_at, circuit=name, timings=timings
+    )
+    bridging: list[Fault] = list(
+        enumerate_bridging_faults(
+            scan.netlist, limit=options.bridging_pair_limit, seed=name
+        )
+    )
+    bridging_detectability = cached_detectability(
+        scan.netlist, bridging, circuit=name, timings=timings
+    )
+    return _CircuitPrep(
+        name,
+        uio,
+        generation,
+        scan,
+        stuck_at,
+        stuck_at_detectability,
+        bridging,
+        bridging_detectability,
+        tuple(generation.test_set.by_decreasing_length()),
+        timings,
+    )
+
+
+# -------------------------------------------------------- phase 2: simulate
+
+
+def _simulate_chunk(
+    payload: tuple[str, ScanCircuit, StateTable, tuple[ScanTest, ...], list[Fault]],
+) -> tuple[list[int], StageTimings]:
+    """Detection mask per test for one fault chunk of one circuit."""
+    name, scan, table, tests, chunk = payload
+    timings = StageTimings()
+    cache = active_cache()
+    hits = cache.hits if cache is not None else 0
+    misses = cache.misses if cache is not None else 0
+    with stopwatch() as clock:
+        simulator = CompiledFaultSimulator(scan, table, chunk)
+        masks = [simulator.detect_mask(test) for test in tests]
+    timings.add(name, STAGE_FAULT_SIM, clock.elapsed_s)
+    if cache is not None:
+        # The only cache traffic here is the compiled simulator source.
+        timings.cache_hits += cache.hits - hits
+        timings.cache_misses += cache.misses - misses
+    return masks, timings
+
+
+def _fault_chunks(faults: list[Fault], jobs: int) -> list[list[Fault]]:
+    """Balanced chunks of at most one adaptive batch word each.
+
+    With ``jobs > 1`` the chunk size additionally shrinks toward
+    ``n / jobs`` (floor 64 faults) so a single large circuit still spreads
+    across the pool.  Chunk boundaries never affect results — only wall
+    clock — because per-fault detection is batch-independent.
+    """
+    n = len(faults)
+    if n == 0:
+        return []
+    size = adaptive_batch_bits(n)
+    if jobs > 1:
+        size = min(size, max(64, -(-n // jobs)))
+    return [faults[start : start + size] for start in range(0, n, size)]
+
+
+# ---------------------------------------------------------- phase 3: select
+
+
+def _select_from_masks(
+    prep: _CircuitPrep,
+    faults: list[Fault],
+    chunks: list[list[Fault]],
+    chunk_masks: list[list[int]],
+    undetectable: set[Fault],
+    use_stop: bool,
+) -> EffectiveSelection:
+    """Replay the serial effective-test selection from precomputed masks."""
+    per_test: list[set[Fault]] = [set() for _ in prep.tests]
+    for chunk, masks in zip(chunks, chunk_masks):
+        for index, mask in enumerate(masks):
+            detected = per_test[index]
+            while mask:
+                low = (mask & -mask).bit_length() - 1
+                detected.add(chunk[low])
+                mask &= mask - 1
+    iterator = iter(per_test)
+
+    def simulate(test: ScanTest, remaining: frozenset[Fault]) -> set[Fault]:
+        # select_effective_tests calls simulate() for a strict prefix of
+        # by_decreasing_length() order — the same order per_test follows.
+        return next(iterator) & remaining
+
+    if use_stop:
+        return select_effective_tests(
+            prep.generation.test_set, simulate, faults,
+            stop_when_exhausted=undetectable,
+        )
+    return select_effective_tests(prep.generation.test_set, simulate, faults)
+
+
+# ------------------------------------------------------------ the scheduler
+
+
+def _worker_init(cache_root: str | None) -> None:
+    set_active_cache(ArtifactCache(cache_root) if cache_root else None)
+
+
+def _pool_map(
+    jobs: int, function: Callable[[Any], Any], payloads: Sequence[Any]
+) -> list[Any]:
+    """``map`` across a process pool, preserving order; serial fallback."""
+    if jobs <= 1 or len(payloads) <= 1:
+        return [function(payload) for payload in payloads]
+    cache = active_cache()
+    root = str(cache.root) if cache is not None else None
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(payloads)),
+            initializer=_worker_init,
+            initargs=(root,),
+        ) as pool:
+            return list(pool.map(function, payloads))
+    except (OSError, PermissionError):
+        # Pool creation unavailable (e.g. sandboxed /dev/shm): run inline.
+        return [function(payload) for payload in payloads]
+
+
+def compute_studies(
+    circuits: Sequence[str],
+    options: "StudyOptions | None" = None,
+    *,
+    jobs: int = 1,
+    timings: StageTimings | None = None,
+) -> dict[str, StudyArtifacts]:
+    """Run the full pipeline for ``circuits`` with ``jobs`` processes.
+
+    Returns one :class:`StudyArtifacts` per circuit, keyed and ordered by
+    the caller's circuit order.  ``timings``, when given, accumulates every
+    stage record (including worker-side cache hit/miss counts).
+    """
+    from repro.harness.experiments import StudyOptions
+
+    options = options or StudyOptions()
+    names = list(dict.fromkeys(circuits))
+
+    preps: list[_CircuitPrep] = _pool_map(
+        jobs, _prepare_circuit, [(name, options) for name in names]
+    )
+
+    sim_payloads: list[tuple] = []
+    chunk_index: dict[tuple[str, str], list[int]] = {}
+    chunk_lists: dict[tuple[str, str], list[list[Fault]]] = {}
+    for prep in preps:
+        table = load_circuit(prep.name)
+        for model, faults in (
+            ("stuck_at", prep.stuck_at_faults),
+            ("bridging", prep.bridging_faults),
+        ):
+            chunks = _fault_chunks(faults, jobs)
+            chunk_lists[(prep.name, model)] = chunks
+            positions: list[int] = []
+            for chunk in chunks:
+                positions.append(len(sim_payloads))
+                sim_payloads.append(
+                    (prep.name, prep.scan_circuit, table, prep.tests, chunk)
+                )
+            chunk_index[(prep.name, model)] = positions
+
+    sim_results: list[tuple[list[int], StageTimings]] = _pool_map(
+        jobs, _simulate_chunk, sim_payloads
+    )
+
+    artifacts: dict[str, StudyArtifacts] = {}
+    for prep in preps:
+        if timings is not None:
+            timings.merge(prep.timings)
+        selections: dict[str, EffectiveSelection] = {}
+        for model, faults, detectability in (
+            ("stuck_at", prep.stuck_at_faults, prep.stuck_at_detectability),
+            ("bridging", prep.bridging_faults, prep.bridging_detectability),
+        ):
+            positions = chunk_index[(prep.name, model)]
+            chunk_masks = [sim_results[position][0] for position in positions]
+            if timings is not None:
+                for position in positions:
+                    timings.merge(sim_results[position][1])
+            if model == "bridging" and not faults:
+                # Mirror CircuitStudy: empty bridging universe selects nothing.
+                selections[model] = select_effective_tests(
+                    prep.generation.test_set, lambda test, remaining: set(), ()
+                )
+                continue
+            _, undetectable = detectability
+            selections[model] = _select_from_masks(
+                prep,
+                faults,
+                chunk_lists[(prep.name, model)],
+                chunk_masks,
+                set(undetectable),
+                use_stop=True,
+            )
+        artifacts[prep.name] = StudyArtifacts(
+            prep.name,
+            prep.uio,
+            prep.generation,
+            prep.scan_circuit,
+            prep.stuck_at_faults,
+            prep.stuck_at_detectability,
+            selections["stuck_at"],
+            prep.bridging_faults,
+            prep.bridging_detectability,
+            selections["bridging"],
+        )
+    return artifacts

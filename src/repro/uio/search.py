@@ -27,6 +27,7 @@ representative per such input equivalence class is expanded
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Iterator
 
 import numpy as np
@@ -127,7 +128,17 @@ def input_class_representatives(table: StateTable) -> tuple[int, ...]:
     Returned in increasing input order, so searches that iterate over the
     representatives stay deterministic and prefer numerically small inputs —
     the same tie-break the paper's examples use.
+
+    Memoized per table: repeated UIO/transfer searches on one machine (e.g.
+    ``nucpwr`` with ``2**13`` input combinations) share one scan.  Tables
+    are immutable and hashable, so identity of the key is identity of the
+    machine.
     """
+    return _representatives_cached(table)
+
+
+@lru_cache(maxsize=128)
+def _representatives_cached(table: StateTable) -> tuple[int, ...]:
     nexts = np.asarray(table.next_state)
     outs = np.asarray(table.output)
     seen: dict[bytes, int] = {}

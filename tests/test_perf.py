@@ -1,0 +1,336 @@
+"""Tests for repro.perf: parallel engine, artifact cache, bench harness."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.benchmarks import load_circuit
+from repro.core.config import (
+    DEFAULT_BATCH_BITS_CAP,
+    FaultSimConfig,
+    adaptive_batch_bits,
+)
+from repro.errors import FaultSimulationError
+from repro.fsm.state_table import StateTable
+from repro.gatelevel import fault_sim
+from repro.harness.experiments import CircuitStudy, StudyOptions, get_study, warm_studies
+from repro.harness.runtime import StageTimings
+from repro.perf.cache import (
+    ARTIFACT_VERSIONS,
+    ArtifactCache,
+    CacheError,
+    active_cache,
+    artifact_key,
+    cache_enabled,
+    stable_hash,
+)
+from repro.perf.engine import compute_studies
+from repro.uio.search import input_class_representatives
+
+PARALLEL_CIRCUITS = ("lion", "mc")
+
+
+# ------------------------------------------------------------- stable_hash
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash(1, "a", (2.5, None)) == stable_hash(1, "a", (2.5, None))
+
+    def test_type_prefixes_disambiguate(self):
+        assert stable_hash(1) != stable_hash("1")
+        assert stable_hash(True) != stable_hash(1)
+        assert stable_hash((1, 2)) != stable_hash((12,))
+        assert stable_hash("ab", "c") != stable_hash("a", "bc")
+
+    def test_dict_order_insensitive(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_numpy_and_dataclass(self):
+        left = np.array([[1, 2], [3, 4]], dtype=np.int32)
+        right = np.array([[1, 2], [3, 4]], dtype=np.int64)
+        assert stable_hash(left) == stable_hash(left.copy())
+        assert stable_hash(left) != stable_hash(right)  # dtype in the key
+        options = StudyOptions()
+        assert stable_hash(options) == stable_hash(StudyOptions())
+        assert stable_hash(options) != stable_hash(StudyOptions(max_fanin=3))
+
+    def test_unhashable_type_raises(self):
+        with pytest.raises(CacheError):
+            stable_hash(object())
+
+    def test_artifact_key_includes_version(self, monkeypatch):
+        key = artifact_key("uio", "x")
+        monkeypatch.setitem(ARTIFACT_VERSIONS, "uio", ARTIFACT_VERSIONS["uio"] + 1)
+        assert artifact_key("uio", "x") != key
+
+    def test_artifact_key_unknown_kind(self):
+        with pytest.raises(CacheError):
+            artifact_key("nonsense", 1)
+
+
+# ----------------------------------------------------------- ArtifactCache
+
+
+class TestArtifactCache:
+    def test_round_trip_and_counters(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = stable_hash("payload")
+        assert cache.get("uio", key) is None
+        cache.put("uio", key, {"value": (1, 2, 3)})
+        assert cache.get("uio", key) == {"value": (1, 2, 3)}
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = stable_hash("x")
+        cache.put("uio", key, [1, 2])
+        path = cache._path("uio", key)
+        path.write_bytes(b"not a pickle")
+        assert cache.get("uio", key) is None
+        assert not path.exists()
+
+    def test_info_and_clear(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("uio", stable_hash(1), "a")
+        cache.put("synthesis", stable_hash(2), "b")
+        info = cache.info()
+        assert info["entries"] == 2
+        assert info["kinds"]["uio"]["entries"] == 1
+        assert cache.clear() == 2
+        assert cache.info()["entries"] == 0
+
+    def test_active_cache_context(self, tmp_path):
+        assert active_cache() is None
+        with cache_enabled(tmp_path) as cache:
+            assert active_cache() is cache
+        assert active_cache() is None
+
+
+class TestCachedPipeline:
+    def test_cold_miss_then_warm_hit(self, tmp_path):
+        options = StudyOptions()
+        with cache_enabled(tmp_path) as cache:
+            study = CircuitStudy("lion", options)
+            uio_cold = study.uio_table
+            scan_cold = study.scan_circuit
+            detect_cold = study.stuck_at_detectability
+            misses = cache.misses
+            assert misses > 0 and cache.hits == 0
+
+            warm = CircuitStudy("lion", options)
+            assert warm.uio_table.sequences == uio_cold.sequences
+            assert warm.uio_table.machine_name == "lion"
+            assert warm.scan_circuit.netlist.n_gates == scan_cold.netlist.n_gates
+            assert warm.stuck_at_detectability == detect_cold
+            assert cache.hits > 0 and cache.misses == misses
+
+    def test_option_change_invalidates(self, tmp_path):
+        with cache_enabled(tmp_path) as cache:
+            CircuitStudy("lion", StudyOptions()).scan_circuit
+            misses = cache.misses
+            CircuitStudy("lion", StudyOptions(max_fanin=3)).scan_circuit
+            assert cache.misses > misses  # different options, different key
+
+    def test_version_bump_invalidates(self, tmp_path, monkeypatch):
+        with cache_enabled(tmp_path) as cache:
+            CircuitStudy("lion", StudyOptions()).uio_table
+            monkeypatch.setitem(
+                ARTIFACT_VERSIONS, "uio", ARTIFACT_VERSIONS["uio"] + 1
+            )
+            hits = cache.hits
+            CircuitStudy("lion", StudyOptions()).uio_table
+            assert cache.hits == hits  # old entry ignored under the new version
+
+
+# -------------------------------------------------------- parallel engine
+
+
+def _signatures(artifacts):
+    return {name: value.signature() for name, value in artifacts.items()}
+
+
+class TestParallelEngine:
+    def test_parallel_identical_to_serial(self):
+        """jobs=2 must reproduce the serial results bit-for-bit (stuck-at
+        and bridging selections, detection sets, and row tables)."""
+        options = StudyOptions()
+        serial = compute_studies(PARALLEL_CIRCUITS, options, jobs=1)
+        parallel = compute_studies(PARALLEL_CIRCUITS, options, jobs=2)
+        assert _signatures(serial) == _signatures(parallel)
+        for name in PARALLEL_CIRCUITS:
+            assert (
+                serial[name].stuck_at_selection.detected
+                == parallel[name].stuck_at_selection.detected
+            )
+            assert (
+                serial[name].bridging_selection.detected
+                == parallel[name].bridging_selection.detected
+            )
+
+    def test_engine_matches_circuit_study(self):
+        options = StudyOptions()
+        artifacts = compute_studies(("lion",), options, jobs=1)["lion"]
+        study = CircuitStudy("lion", options)
+        assert artifacts.stuck_at_selection.rows == study.stuck_at_selection.rows
+        assert artifacts.bridging_selection.rows == study.bridging_selection.rows
+        assert artifacts.stuck_at_detectability == study.stuck_at_detectability
+
+    def test_deterministic_ordering_and_timings(self):
+        timings = StageTimings()
+        artifacts = compute_studies(("mc", "lion"), jobs=1, timings=timings)
+        assert list(artifacts) == ["mc", "lion"]
+        assert set(timings.stages()) >= {
+            "uio", "generation", "synthesis", "detectability", "fault-sim",
+        }
+        assert timings.total() > 0.0
+
+    def test_warm_studies_installs(self):
+        options = StudyOptions(bridging_pair_limit=40)
+        artifacts = warm_studies(("lion",), options, jobs=1)
+        study = get_study("lion", options)
+        # Seeded cached_property: identical objects, no recomputation.
+        assert study.stuck_at_selection is artifacts["lion"].stuck_at_selection
+        assert study.generation is artifacts["lion"].generation
+
+
+# ------------------------------------------------------------------ bench
+
+
+class TestBench:
+    def test_bench_report_schema(self, tmp_path):
+        from repro.perf.bench import BENCH_SCHEMA, run_bench
+
+        report = run_bench(
+            ("lion",), jobs=2, cache_root=tmp_path / "cache"
+        )
+        assert report["schema"] == BENCH_SCHEMA
+        assert report["circuits"] == ["lion"]
+        assert report["identical"] is True
+        assert report["divergence"] == []
+        assert set(report["runs"]) == {
+            "serial_cold", "parallel_cold", "parallel_warm",
+        }
+        for record in report["runs"].values():
+            assert record["wall_s"] > 0.0
+            assert set(record) >= {
+                "jobs", "wall_s", "stage_seconds", "per_circuit", "cache",
+            }
+        warm = report["runs"]["parallel_warm"]
+        # The warm run must skip UIO/synthesis/detectability entirely.
+        assert warm["cache"]["hits"] > 0
+        assert warm["cache"]["misses"] == 0
+        assert warm["stage_seconds"]["uio"] == 0.0
+        assert warm["stage_seconds"]["synthesis"] == 0.0
+        assert warm["stage_seconds"]["detectability"] == 0.0
+        json.dumps(report)  # must be JSON-serializable as-is
+
+
+# ------------------------------------------------- adaptive batch sizing
+
+
+class TestAdaptiveBatchBits:
+    def test_small_universe_exact_width(self):
+        assert adaptive_batch_bits(1) == 1
+        assert adaptive_batch_bits(100) == 100
+        assert adaptive_batch_bits(DEFAULT_BATCH_BITS_CAP) == DEFAULT_BATCH_BITS_CAP
+
+    def test_large_universe_balanced(self):
+        assert adaptive_batch_bits(DEFAULT_BATCH_BITS_CAP + 1) == 1025
+        assert adaptive_batch_bits(5000) == 1667  # three balanced batches
+        assert adaptive_batch_bits(7, cap=3) == 3  # 3+2+2, not 3+3+1
+
+    def test_empty_universe(self):
+        assert adaptive_batch_bits(0) == 1
+
+    def test_invalid_cap(self):
+        with pytest.raises(FaultSimulationError):
+            adaptive_batch_bits(10, cap=0)
+
+    def test_config_exposes_cap(self):
+        config = FaultSimConfig(max_batch_bits=8)
+        assert config.resolved_batch_bits(5) == 5
+        assert config.resolved_batch_bits(17) == 6
+        with pytest.raises(FaultSimulationError):
+            FaultSimConfig(max_batch_bits=0)
+
+    def test_default_batch_bits_alias(self):
+        assert fault_sim.DEFAULT_BATCH_BITS == DEFAULT_BATCH_BITS_CAP
+
+    def test_detects_adaptive_default_matches_fixed(self, lion):
+        from repro.core.generator import generate_tests
+        from repro.gatelevel.scan import ScanCircuit
+        from repro.gatelevel.stuck_at import collapse_stuck_at
+        from repro.gatelevel.synthesis import SynthesisOptions
+
+        from repro.benchmarks import load_kiss_machine
+
+        circuit = ScanCircuit.from_machine(
+            load_kiss_machine("lion"), SynthesisOptions(max_fanin=4)
+        )
+        faults = sorted(set(collapse_stuck_at(circuit.netlist).values()))
+        test = generate_tests(lion).test_set.tests[0]
+        adaptive = fault_sim.detects(circuit, lion, test, faults)
+        fixed = fault_sim.detects(circuit, lion, test, faults, batch_bits=7)
+        assert adaptive == fixed
+
+
+# ------------------------------------------------------------ memoization
+
+
+class TestMemoization:
+    def test_input_class_representatives_cached(self):
+        table = load_circuit("lion")
+        first = input_class_representatives(table)
+        second = input_class_representatives(table)
+        assert first is second  # served from the per-table cache
+        # An equal table built independently shares the entry (hash/eq key).
+        clone = StateTable(
+            np.asarray(table.next_state),
+            np.asarray(table.output),
+            table.n_inputs,
+            table.n_outputs,
+            table.state_names,
+            table.name,
+        )
+        assert input_class_representatives(clone) is first
+
+    def test_state_table_pickle_round_trip(self):
+        table = load_circuit("lion")
+        clone = pickle.loads(pickle.dumps(table))
+        assert clone == table
+        assert hash(clone) == hash(table)
+        assert clone.name == table.name
+        with pytest.raises(AttributeError):
+            clone.name = "mutated"
+
+
+# ------------------------------------------------------------ cli surface
+
+
+class TestCli:
+    def test_cache_info_and_clear(self, tmp_path, capsys):
+        from repro.cli import main
+
+        with cache_enabled(tmp_path):
+            CircuitStudy("lion", StudyOptions()).uio_table
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        assert "uio" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert ArtifactCache(tmp_path).info()["entries"] == 0
+
+    def test_table_with_jobs_and_cache(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "table4", "--circuits", "lion", "--jobs", "2",
+            "--cache-dir", str(tmp_path),
+        ])
+        assert code == 0
+        assert "lion" in capsys.readouterr().out
+        assert ArtifactCache(tmp_path).info()["entries"] > 0
