@@ -17,6 +17,8 @@ Quickstart
 (9, 28)
 """
 
+from typing import Any
+
 from repro._version import __version__
 from repro.benchmarks import (
     circuit_names,
@@ -69,4 +71,20 @@ __all__ = [
     "compute_uio_table",
     "find_transfer",
     "find_uio",
+    "FuzzConfig",
+    "FuzzReport",
+    "oracle_names",
+    "run_fuzz",
 ]
+
+# The fuzzing subsystem pulls in the whole gate-level stack; load it on
+# first attribute access so `import repro` stays light.
+_FUZZ_EXPORTS = {"FuzzConfig", "FuzzReport", "oracle_names", "run_fuzz"}
+
+
+def __getattr__(name: str) -> Any:
+    if name in _FUZZ_EXPORTS:
+        from repro import fuzz
+
+        return getattr(fuzz, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -10,6 +10,7 @@ Subcommands
 ``table2..9``  — regenerate the corresponding paper table
 ``all``        — regenerate every table over a tier
 ``lint``       — static analysis of machines, netlists, and test programs
+``fuzz``       — differential fuzzing of the whole stack (exit 1 on failure)
 ``claims``     — run the reproduction certificate (exit 1 on any failure)
 ``bench``      — serial vs parallel vs warm-cache timing (BENCH_perf.json)
 ``cache``      — inspect (``info``) or wipe (``clear``) the artifact cache
@@ -33,7 +34,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.benchmarks import circuit_names, get_spec, load_circuit
 from repro.core.config import GeneratorConfig
@@ -289,6 +290,47 @@ def _cmd_cache_clear(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.errors import FuzzError
+    from repro.fuzz import FuzzConfig, oracle_names, run_fuzz
+
+    if args.list_oracles:
+        from repro.fuzz import get_oracle
+
+        for name in oracle_names():
+            print(f"{name}: {get_oracle(name).description}")
+        return 0
+    progress: Callable[[str], None] | None = None
+    if args.verbose:
+
+        def progress(message: str) -> None:
+            print(message, file=sys.stderr)
+    try:
+        config = FuzzConfig(
+            cases=args.cases,
+            seed=args.seed,
+            oracles=tuple(args.oracle or ()),
+            corpus_dir=args.corpus,
+            shrink=not args.no_shrink,
+            max_states=args.max_states,
+            max_inputs=args.max_inputs,
+            max_outputs=args.max_outputs,
+            time_budget_s=args.time_budget,
+            max_failures=args.max_failures,
+        )
+        report = run_fuzz(config, progress)
+    except FuzzError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render(), end="")
+    return 0 if report.ok else 1
+
+
 def _table_command(number: int):
     def run(args: argparse.Namespace) -> int:
         options = _options_from(args)
@@ -457,6 +499,44 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--transfer-length", type=int, default=1)
     lint.add_argument("--scan-ratio", type=int, default=1)
     lint.set_defaults(func=_cmd_lint)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: random machines through paired "
+        "implementations (exit 1 on any disagreement)",
+    )
+    fuzz.add_argument("--cases", type=int, default=100, metavar="N",
+                      help="number of machines to generate (0 = only replay "
+                      "the corpus; default: 100)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="campaign seed; same seed, same machines "
+                      "(default: 0)")
+    fuzz.add_argument("--oracle", action="append", metavar="NAME",
+                      help="run only this oracle (repeatable; default: all)")
+    fuzz.add_argument("--corpus", default=None, metavar="DIR",
+                      help="failure corpus directory: stored failures replay "
+                      "first, new failures are saved as KISS files")
+    fuzz.add_argument("--list-oracles", action="store_true",
+                      help="list registered oracles and exit")
+    fuzz.add_argument("--max-states", type=int, default=10,
+                      help="largest generated machine (default: 10)")
+    fuzz.add_argument("--max-inputs", type=int, default=3,
+                      help="widest primary input (default: 3 bits)")
+    fuzz.add_argument("--max-outputs", type=int, default=3,
+                      help="widest primary output (default: 3 bits)")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="report failures unminimized")
+    fuzz.add_argument("--time-budget", type=float, default=None,
+                      metavar="SECONDS",
+                      help="stop generating new cases after this long "
+                      "(corpus replay always completes)")
+    fuzz.add_argument("--max-failures", type=int, default=8, metavar="N",
+                      help="stop after N failures, 0 = never (default: 8)")
+    fuzz.add_argument("--format", choices=("human", "json"), default="human",
+                      help="report format (both are deterministic)")
+    fuzz.add_argument("-v", "--verbose", action="store_true",
+                      help="per-case progress on stderr")
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     everything = sub.add_parser("all", help="regenerate every table")
     add_common(everything, with_circuit_list=True)

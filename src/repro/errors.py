@@ -67,3 +67,12 @@ class LintError(ReproError):
     Raised by :meth:`repro.lint.LintReport.raise_on_errors` when no more
     specific :class:`ReproError` subclass fits the calling context.
     """
+
+
+class FuzzError(ReproError):
+    """The differential fuzzing subsystem was driven with invalid inputs.
+
+    Raised for unknown oracle names, unusable corpus directories, and other
+    configuration mistakes — *not* for oracle failures, which are data, not
+    exceptions (see :class:`repro.fuzz.FuzzReport`).
+    """

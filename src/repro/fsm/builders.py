@@ -19,7 +19,12 @@ from repro.errors import IncompleteMachineError, StateTableError
 from repro.fsm.kiss import KissMachine, KissRow
 from repro.fsm.state_table import StateTable
 
-__all__ = ["StateTableBuilder", "random_cube_machine", "random_state_table"]
+__all__ = [
+    "StateTableBuilder",
+    "random_cube_machine",
+    "random_dense_table",
+    "random_state_table",
+]
 
 
 class StateTableBuilder:
@@ -182,6 +187,48 @@ def random_cube_machine(
             out_cube = format(out, f"0{n_outputs}b") if n_outputs else ""
             rows.append(KissRow(cube, state_names[state], state_names[nxt], out_cube))
     return KissMachine(n_inputs, n_outputs, rows, state_names[0], name)
+
+
+def random_dense_table(
+    n_inputs: int,
+    n_states: int,
+    n_outputs: int,
+    seed: int | str,
+    strongly_connected: bool = False,
+    output_zero_bias: float = 0.0,
+    name: str = "",
+) -> StateTable:
+    """Generate a deterministic uniform-random dense state table.
+
+    Unlike :func:`random_cube_machine` every ``(state, input)`` entry is
+    drawn independently, which explores corners cube-structured machines
+    cannot reach (states reachable only under one specific combination,
+    heavy next-state fan-in, ...).  With ``strongly_connected`` one random
+    input column per state is redirected onto the cycle
+    ``s -> (s + 1) mod n_states``, which makes every state reachable from
+    every other by construction.  ``output_zero_bias`` is the probability
+    that an entry's output is forced to all zeros (sparse outputs are what
+    starves states of UIO sequences).
+    """
+    if n_states < 1:
+        raise StateTableError("need at least one state")
+    if n_inputs < 0 or n_outputs < 0:
+        raise StateTableError("widths must be non-negative")
+    if not 0.0 <= output_zero_bias <= 1.0:
+        raise StateTableError("output_zero_bias must be within [0, 1]")
+    rng = random.Random(f"repro-dense-table:{seed}")
+    n_cols = 1 << n_inputs
+    next_state = np.empty((n_states, n_cols), dtype=np.int32)
+    output = np.zeros((n_states, n_cols), dtype=np.int64)
+    for state in range(n_states):
+        for combo in range(n_cols):
+            next_state[state, combo] = rng.randrange(n_states)
+            if n_outputs and rng.random() >= output_zero_bias:
+                output[state, combo] = rng.randrange(1 << n_outputs)
+    if strongly_connected and n_states > 1:
+        for state in range(n_states):
+            next_state[state, rng.randrange(n_cols)] = (state + 1) % n_states
+    return StateTable(next_state, output, n_inputs, n_outputs, name=name)
 
 
 def random_state_table(

@@ -1,0 +1,67 @@
+"""Differential fuzzing and cross-implementation oracles.
+
+The subsystem has five pieces (see ``docs/fuzzing.md``):
+
+* :mod:`repro.fuzz.generators` — seeded random machines and fault universes;
+* :mod:`repro.fuzz.oracles` — the registry of differential checks;
+* :mod:`repro.fuzz.shrink` — greedy delta-debugging of failing machines;
+* :mod:`repro.fuzz.corpus` — KISS-file persistence and replay of failures;
+* :mod:`repro.fuzz.runner` — the campaign driver behind ``repro-fsatpg fuzz``.
+
+:mod:`repro.fuzz.strategies` (Hypothesis strategies over the same
+generators) is intentionally not re-exported here: it imports a test-only
+library and is reached directly by the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.fuzz.corpus import CorpusEntry, load_corpus, save_failure
+from repro.fuzz.generators import (
+    MACHINE_VARIANTS,
+    MachineSpec,
+    generate_machine,
+    random_gate_faults,
+    spec_stream,
+)
+from repro.fuzz.oracles import (
+    FuzzCase,
+    Oracle,
+    OracleFailure,
+    OracleSkip,
+    get_oracle,
+    oracle_names,
+    resolve_oracles,
+)
+from repro.fuzz.runner import (
+    FuzzConfig,
+    FuzzFailure,
+    FuzzReport,
+    OracleTimeout,
+    run_fuzz,
+)
+from repro.fuzz.shrink import ShrinkResult, shrink_machine
+
+__all__ = [
+    "CorpusEntry",
+    "FuzzCase",
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzReport",
+    "MACHINE_VARIANTS",
+    "MachineSpec",
+    "Oracle",
+    "OracleFailure",
+    "OracleSkip",
+    "OracleTimeout",
+    "ShrinkResult",
+    "generate_machine",
+    "get_oracle",
+    "load_corpus",
+    "oracle_names",
+    "random_gate_faults",
+    "resolve_oracles",
+    "run_fuzz",
+    "save_failure",
+    "shrink_machine",
+    "spec_stream",
+]

@@ -1,0 +1,368 @@
+"""Fuzzing campaign driver: corpus replay, oracle dispatch, shrink, report.
+
+A *campaign* replays every stored corpus failure first (regression guard),
+then streams freshly generated machines through the selected oracles.  Any
+failure is greedily shrunk (:mod:`repro.fuzz.shrink`) and persisted to the
+corpus (:mod:`repro.fuzz.corpus`) so it reproduces forever after.
+
+Oracles run under a wall-clock watchdog: several of them call the test
+generator, and the class of bug the fuzzer hunts includes generators that
+*never terminate* (for example, a chaining loop that forgets to mark
+transitions as tested re-exercises the same transition forever).  A hung
+oracle is reported as a failure, not a hung fuzzer.  The watchdog uses
+``SIGALRM`` and therefore only engages on the main thread of a Unix
+process; elsewhere oracles simply run unguarded.
+
+Reports are deliberately timestamp-free: the same ``(seed, cases, oracles,
+corpus)`` always renders byte-identical output, which makes fuzz runs
+diffable in CI.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.errors import FuzzError
+from repro.fsm.state_table import StateTable
+from repro.fuzz.corpus import load_corpus, save_failure
+from repro.fuzz.generators import generate_machine, spec_stream
+from repro.fuzz.oracles import (
+    FuzzCase,
+    Oracle,
+    OracleFailure,
+    OracleSkip,
+    resolve_oracles,
+)
+from repro.fuzz.shrink import shrink_machine
+
+__all__ = [
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzReport",
+    "OracleTimeout",
+    "run_fuzz",
+]
+
+
+class OracleTimeout(Exception):
+    """An oracle exceeded its wall-clock budget (treated as a failure)."""
+
+
+@contextmanager
+def _time_limit(seconds: float | None) -> Iterator[None]:
+    """Raise :class:`OracleTimeout` in the block after ``seconds``.
+
+    Engages only on the main thread of a platform with ``setitimer``;
+    otherwise the block runs unguarded (worker threads cannot receive the
+    signal, and nesting alarms would corrupt an outer timer).
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _alarm(signum: int, frame: Any) -> None:
+        raise OracleTimeout(f"no verdict within {seconds:g}s")
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    assert seconds is not None
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Everything that parameterizes one campaign (a pure value)."""
+
+    cases: int = 100
+    seed: int = 0
+    oracles: tuple[str, ...] = ()
+    corpus_dir: str | None = None
+    shrink: bool = True
+    max_states: int = 10
+    max_inputs: int = 3
+    max_outputs: int = 3
+    #: stop generating new cases after this many seconds (None = no budget);
+    #: corpus replay always completes — it is the regression guard.
+    time_budget_s: float | None = None
+    #: stop generating new cases once this many failures accumulated
+    #: (0 = unlimited); a systematic bug fails on nearly every case, and a
+    #: hanging generator costs a full timeout per detection
+    max_failures: int = 8
+    oracle_timeout_s: float = 10.0
+    #: tighter per-candidate budget while shrinking (many candidates hang
+    #: the same way the original did; waiting the full timeout for each
+    #: would make shrinking quadratically slow)
+    shrink_timeout_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cases < 0:
+            raise FuzzError("cases must be non-negative")
+        if self.max_states < 1 or self.max_inputs < 1 or self.max_outputs < 1:
+            raise FuzzError("size bounds must be at least 1")
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One confirmed oracle failure, post-shrink."""
+
+    oracle: str
+    case: str
+    origin: str
+    detail: str
+    n_states: int
+    n_inputs: int
+    n_outputs: int
+    shrunk_from: str | None = None
+    corpus_path: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "case": self.case,
+            "corpus_path": self.corpus_path,
+            "detail": self.detail,
+            "n_inputs": self.n_inputs,
+            "n_outputs": self.n_outputs,
+            "n_states": self.n_states,
+            "oracle": self.oracle,
+            "origin": self.origin,
+            "shrunk_from": self.shrunk_from,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Deterministic outcome of one campaign (no timestamps, no paths)."""
+
+    seed: int
+    requested_cases: int
+    executed_cases: int
+    replayed_entries: int
+    oracle_names: tuple[str, ...]
+    stats: dict[str, dict[str, int]] = field(default_factory=dict)
+    failures: tuple[FuzzFailure, ...] = ()
+    #: "" when the campaign ran to completion, else why it stopped early
+    stop_reason: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "executed_cases": self.executed_cases,
+            "failures": [failure.to_dict() for failure in self.failures],
+            "ok": self.ok,
+            "oracles": list(self.oracle_names),
+            "replayed_entries": self.replayed_entries,
+            "requested_cases": self.requested_cases,
+            "seed": self.seed,
+            "stats": self.stats,
+            "stop_reason": self.stop_reason,
+        }
+
+    def render(self) -> str:
+        """Human-readable report; byte-identical for identical campaigns."""
+        lines = [
+            f"repro-fsatpg fuzz: seed={self.seed} "
+            f"cases={self.requested_cases} executed={self.executed_cases} "
+            f"corpus-replays={self.replayed_entries}"
+        ]
+        width = max([len("oracle")] + [len(name) for name in self.oracle_names])
+        lines.append(f"  {'oracle'.ljust(width)}    ok  skip  fail")
+        for name in self.oracle_names:
+            row = self.stats.get(name, {})
+            lines.append(
+                f"  {name.ljust(width)}  {row.get('ok', 0):4d}  "
+                f"{row.get('skip', 0):4d}  {row.get('fail', 0):4d}"
+            )
+        for failure in self.failures:
+            lines.append(
+                f"FAIL {failure.oracle}: {failure.case} "
+                f"({failure.n_states}s/{failure.n_inputs}i/{failure.n_outputs}o, "
+                f"{failure.origin}): {failure.detail}"
+            )
+            if failure.corpus_path:
+                lines.append(f"     corpus: {failure.corpus_path}")
+        if self.stop_reason:
+            lines.append(f"stopped early: {self.stop_reason}")
+        verdict = "PASS" if self.ok else f"FAIL ({len(self.failures)} failures)"
+        lines.append(
+            f"result: {verdict} [{len(self.oracle_names)} oracles]"
+        )
+        return "\n".join(lines) + "\n"
+
+
+def _run_oracle(
+    oracle: Oracle, case: FuzzCase, timeout_s: float | None
+) -> tuple[str, str]:
+    """``("ok" | "skip" | "fail", detail)`` for one oracle on one case."""
+    try:
+        with _time_limit(timeout_s):
+            oracle.run(case)
+    except OracleSkip as exc:
+        return "skip", str(exc)
+    except OracleFailure as exc:
+        return "fail", str(exc)
+    except OracleTimeout as exc:
+        return "fail", f"timeout: {exc}"
+    except Exception as exc:  # a crash in any layer is a finding, not an abort
+        return "fail", f"crash: {type(exc).__name__}: {exc}"
+    return "ok", ""
+
+
+def _still_fails(
+    oracle: Oracle, table: StateTable, timeout_s: float | None
+) -> bool:
+    """Shrink predicate: does ``oracle`` still fail on ``table``?"""
+    candidate = FuzzCase("shrink-candidate", table, origin="shrink")
+    verdict, _ = _run_oracle(oracle, candidate, timeout_s)
+    return verdict == "fail"
+
+
+def run_fuzz(
+    config: FuzzConfig,
+    on_progress: Callable[[str], None] | None = None,
+) -> FuzzReport:
+    """Execute one fuzzing campaign and return its report.
+
+    Corpus entries (when a corpus is configured) replay first, each through
+    the oracle it originally failed; then ``config.cases`` fresh machines
+    stream through every selected oracle.  New failures are shrunk and
+    saved back to the corpus.
+    """
+    oracles = resolve_oracles(config.oracles)
+    by_name = {oracle.name: oracle for oracle in oracles}
+    stats: dict[str, dict[str, int]] = {
+        oracle.name: {"ok": 0, "skip": 0, "fail": 0} for oracle in oracles
+    }
+    failures: list[FuzzFailure] = []
+    shrunk_oracles: set[str] = set()
+
+    def note(message: str) -> None:
+        if on_progress is not None:
+            on_progress(message)
+
+    def record(
+        oracle: Oracle, case: FuzzCase, verdict: str, detail: str
+    ) -> None:
+        stats[oracle.name][verdict] += 1
+        if verdict != "fail":
+            return
+        table = case.table
+        shrunk_from = None
+        # A systematic bug fails on most cases; one minimized witness per
+        # oracle is what a human needs, so only the first failure is shrunk.
+        if (
+            config.shrink
+            and case.origin == "generated"
+            and oracle.name not in shrunk_oracles
+        ):
+            shrunk_oracles.add(oracle.name)
+            result = shrink_machine(
+                table, lambda t: _still_fails(oracle, t, config.shrink_timeout_s)
+            )
+            if result.reduced:
+                shrunk_from = (
+                    f"{table.n_states}s/{table.n_inputs}i/{table.n_outputs}o"
+                )
+                table = result.table
+                _, detail = _run_oracle(
+                    oracle,
+                    FuzzCase(case.name, table, origin="shrink"),
+                    config.shrink_timeout_s,
+                )
+        corpus_path = None
+        if config.corpus_dir is not None and case.origin == "generated":
+            entry = save_failure(
+                config.corpus_dir,
+                oracle.name,
+                table.renamed(case.name),
+                detail,
+                origin=case.origin,
+                shrunk_from=shrunk_from,
+            )
+            corpus_path = entry.relative_path
+        failures.append(
+            FuzzFailure(
+                oracle.name,
+                case.name,
+                case.origin,
+                detail,
+                table.n_states,
+                table.n_inputs,
+                table.n_outputs,
+                shrunk_from,
+                corpus_path,
+            )
+        )
+        note(f"FAIL {oracle.name} on {case.name}: {detail}")
+
+    # ------------------------------------------------ corpus replay first
+    replayed = 0
+    if config.corpus_dir is not None:
+        for entry in load_corpus(config.corpus_dir):
+            oracle = by_name.get(entry.oracle)
+            if oracle is None:
+                continue  # stored for an oracle not selected this run
+            replayed += 1
+            case = FuzzCase(
+                f"corpus/{entry.relative_path}", entry.table, origin="corpus"
+            )
+            verdict, detail = _run_oracle(oracle, case, config.oracle_timeout_s)
+            record(oracle, case, verdict, detail)
+
+    # ------------------------------------------------- fresh generation
+    executed = 0
+    stop_reason = ""
+    deadline = (
+        time.monotonic() + config.time_budget_s
+        if config.time_budget_s is not None
+        else None
+    )
+    for spec in spec_stream(
+        config.cases,
+        config.seed,
+        config.max_states,
+        config.max_inputs,
+        config.max_outputs,
+    ):
+        if config.max_failures and len(failures) >= config.max_failures:
+            stop_reason = f"reached {config.max_failures} failures"
+            break
+        if deadline is not None and time.monotonic() >= deadline:
+            stop_reason = f"time budget ({config.time_budget_s:g}s) exhausted"
+            break
+        case = FuzzCase(spec.label(), generate_machine(spec), spec=spec)
+        executed += 1
+        note(f"case {executed}/{config.cases}: {case.name}")
+        for oracle in oracles:
+            verdict, detail = _run_oracle(oracle, case, config.oracle_timeout_s)
+            record(oracle, case, verdict, detail)
+
+    if stop_reason:
+        note(f"stopped early: {stop_reason}")
+    return FuzzReport(
+        seed=config.seed,
+        requested_cases=config.cases,
+        executed_cases=executed,
+        replayed_entries=replayed,
+        oracle_names=tuple(oracle.name for oracle in oracles),
+        stats=stats,
+        failures=tuple(failures),
+        stop_reason=stop_reason,
+    )

@@ -1,0 +1,202 @@
+"""Greedy delta-debugging shrinker for failing machines.
+
+Given a machine on which some oracle fails and a *predicate* that replays
+the failure, :func:`shrink_machine` repeatedly applies structure-preserving
+reductions — drop a state, drop an input bit, drop an output bit, zero an
+output entry — keeping each change only when the predicate still holds.
+The loop runs to a fixed point, so the result is 1-minimal with respect to
+these operations: removing any single remaining state or bit makes the
+failure disappear.
+
+Every reduction re-closes the table (a dropped state's incoming edges are
+redirected onto a surviving state), so intermediate candidates are always
+valid completely specified machines and can be fed to any oracle.
+
+Predicates that *raise* are treated as "failure gone": a candidate that
+crashes a different layer is a different bug, and chasing it would make the
+shrink non-deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.errors import FuzzError
+from repro.fsm.state_table import StateTable
+
+__all__ = [
+    "ShrinkResult",
+    "drop_input_bit",
+    "drop_output_bit",
+    "drop_state",
+    "shrink_machine",
+]
+
+Predicate = Callable[[StateTable], bool]
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    table: StateTable
+    attempts: int
+    accepted: int
+
+    @property
+    def reduced(self) -> bool:
+        return self.accepted > 0
+
+
+def drop_state(table: StateTable, state: int) -> StateTable:
+    """``table`` without ``state``; its incoming edges are redirected.
+
+    Edges into the dropped state are re-aimed at its own successor under
+    input combination 0 (or, when that successor is the dropped state
+    itself, at the first surviving state), which preserves local structure
+    far better than collapsing everything onto state 0.
+    """
+    if table.n_states <= 1:
+        raise FuzzError("cannot drop the last state")
+    if not 0 <= state < table.n_states:
+        raise FuzzError(f"no state {state} to drop")
+    fallback = int(table.next_state[state, 0])
+    if fallback == state:
+        fallback = 0 if state != 0 else 1
+    kept = [s for s in range(table.n_states) if s != state]
+    renumber = {old: new for new, old in enumerate(kept)}
+    next_state = table.next_state[kept, :].copy()
+    next_state[next_state == state] = fallback
+    next_state = np.vectorize(renumber.__getitem__, otypes=[np.int32])(next_state)
+    return StateTable(
+        next_state,
+        table.output[kept, :],
+        table.n_inputs,
+        table.n_outputs,
+        [table.state_names[s] for s in kept],
+        table.name,
+    )
+
+
+def drop_input_bit(table: StateTable, bit: int) -> StateTable:
+    """``table`` restricted to the subspace where input ``bit`` is 0.
+
+    ``bit`` counts from the least significant end of the combination
+    integer.  The surviving columns keep their relative order, so the
+    machine's behaviour under the remaining inputs is unchanged.
+    """
+    if table.n_inputs <= 0:
+        raise FuzzError("no input bits to drop")
+    if not 0 <= bit < table.n_inputs:
+        raise FuzzError(f"no input bit {bit} to drop")
+    low_mask = (1 << bit) - 1
+    columns = [
+        ((combo >> bit) << (bit + 1)) | (combo & low_mask)
+        for combo in range(1 << (table.n_inputs - 1))
+    ]
+    return StateTable(
+        table.next_state[:, columns],
+        table.output[:, columns],
+        table.n_inputs - 1,
+        table.n_outputs,
+        table.state_names,
+        table.name,
+    )
+
+
+def drop_output_bit(table: StateTable, bit: int) -> StateTable:
+    """``table`` with output ``bit`` (LSB-counted) spliced out."""
+    if table.n_outputs <= 0:
+        raise FuzzError("no output bits to drop")
+    if not 0 <= bit < table.n_outputs:
+        raise FuzzError(f"no output bit {bit} to drop")
+    low_mask = (1 << bit) - 1
+    output = ((table.output >> (bit + 1)) << bit) | (table.output & low_mask)
+    return StateTable(
+        table.next_state,
+        output,
+        table.n_inputs,
+        table.n_outputs - 1,
+        table.state_names,
+        table.name,
+    )
+
+
+def _zero_output_entry(table: StateTable, state: int, combo: int) -> StateTable:
+    output = table.output.copy()
+    output[state, combo] = 0
+    return StateTable(
+        table.next_state,
+        output,
+        table.n_inputs,
+        table.n_outputs,
+        table.state_names,
+        table.name,
+    )
+
+
+def _candidates(
+    table: StateTable,
+    min_states: int,
+    min_inputs: int,
+    min_outputs: int,
+) -> Iterator[StateTable]:
+    """All one-step reductions of ``table``, most aggressive first."""
+    if table.n_states > min_states:
+        for state in range(table.n_states - 1, -1, -1):
+            yield drop_state(table, state)
+    if table.n_inputs > min_inputs:
+        for bit in range(table.n_inputs - 1, -1, -1):
+            yield drop_input_bit(table, bit)
+    if table.n_outputs > min_outputs:
+        for bit in range(table.n_outputs - 1, -1, -1):
+            yield drop_output_bit(table, bit)
+    for state in range(table.n_states):
+        for combo in range(table.n_input_combinations):
+            if table.output[state, combo]:
+                yield _zero_output_entry(table, state, combo)
+
+
+def shrink_machine(
+    table: StateTable,
+    predicate: Predicate,
+    min_states: int = 1,
+    min_inputs: int = 1,
+    min_outputs: int = 1,
+    max_attempts: int = 2000,
+) -> ShrinkResult:
+    """Greedily minimize ``table`` while ``predicate`` keeps holding.
+
+    ``predicate(candidate)`` must return ``True`` when the candidate still
+    reproduces the failure of interest.  The floors default to 1 so shrunk
+    machines stay expressible in the KISS corpus format.  ``max_attempts``
+    bounds total predicate evaluations (the shrink is best-effort; hitting
+    the bound simply returns the smallest machine found so far).
+    """
+    if min_states < 1:
+        raise FuzzError("min_states must be at least 1")
+    if min_inputs < 0 or min_outputs < 0:
+        raise FuzzError("shrink floors must be non-negative")
+    attempts = 0
+    accepted = 0
+    current = table
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for candidate in _candidates(current, min_states, min_inputs, min_outputs):
+            if attempts >= max_attempts:
+                break
+            attempts += 1
+            try:
+                still_failing = bool(predicate(candidate))
+            except Exception:
+                still_failing = False
+            if still_failing:
+                current = candidate
+                accepted += 1
+                progress = True
+                break  # restart candidate enumeration from the smaller table
+    return ShrinkResult(current, attempts, accepted)

@@ -24,7 +24,7 @@ from repro.core.faultmodel import StateTransitionFault, apply_fault
 from repro.errors import FaultSimulationError
 from repro.fsm.state_table import StateTable
 
-__all__ = ["NonScanFaultResult", "simulate_nonscan_faults"]
+__all__ = ["NonScanFaultResult", "sequence_detects", "simulate_nonscan_faults"]
 
 
 @dataclass
@@ -43,12 +43,20 @@ class NonScanFaultResult:
         return 100.0 * len(self.detected) / self.n_faults
 
 
-def _sequence_detects(
+def sequence_detects(
     good: StateTable,
     faulty: StateTable,
     sequence: Sequence[int],
     start_states: Iterable[int],
 ) -> bool:
+    """Does ``sequence`` expose ``faulty`` at the primary outputs?
+
+    Both machines are stepped in lockstep from each start state; detection
+    requires an output mismatch for *every* start (worst-case tester
+    knowledge).  Final states are deliberately not compared — without scan
+    there is no scan-out.  This is also the reference the fuzzing oracles
+    cross-check the scan-semantics fault simulation against.
+    """
     for start in start_states:
         good_state = start
         bad_state = start
@@ -83,7 +91,7 @@ def simulate_nonscan_faults(
         if fault.is_noop_for(table):
             raise FaultSimulationError(f"fault {fault} does not change the machine")
         faulty = apply_fault(table, fault)
-        if _sequence_detects(table, faulty, sequence, starts):
+        if sequence_detects(table, faulty, sequence, starts):
             detected.add(fault)
         else:
             undetected.add(fault)

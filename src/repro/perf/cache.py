@@ -38,11 +38,15 @@ __all__ = [
     "ARTIFACT_VERSIONS",
     "ArtifactCache",
     "CacheError",
+    "ReplayVerifier",
     "active_cache",
+    "active_probe",
     "artifact_key",
     "cache_enabled",
+    "cache_probe",
     "default_cache_dir",
     "set_active_cache",
+    "set_cache_probe",
     "stable_hash",
 ]
 
@@ -193,10 +197,14 @@ class ArtifactCache:
             self.misses += 1
             return None
         self.hits += 1
+        if _PROBE is not None:
+            _PROBE.on_replay(kind, key, value)
         return value
 
     def put(self, kind: str, key: str, value: Any) -> None:
         """Store an artifact atomically (safe under concurrent writers)."""
+        if _PROBE is not None:
+            _PROBE.on_store(kind, key, value)
         path = self._path(kind, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         temp = path.with_suffix(f".tmp.{os.getpid()}")
@@ -287,3 +295,96 @@ def cache_enabled(root: str | Path | None = None) -> Iterator[ArtifactCache]:
         yield cache
     finally:
         set_active_cache(previous)
+
+
+# ------------------------------------------------------------- replay hook
+
+
+class CacheProbe:
+    """Observer of every artifact store and cache-hit replay.
+
+    Subclasses override :meth:`on_store` / :meth:`on_replay`; the active
+    probe (see :func:`set_cache_probe`) is invoked synchronously from
+    :meth:`ArtifactCache.put` and :meth:`ArtifactCache.get`.  Probes must
+    never mutate the artifact they observe.
+    """
+
+    def on_store(self, kind: str, key: str, value: Any) -> None:
+        """Called before an artifact is written to disk."""
+
+    def on_replay(self, kind: str, key: str, value: Any) -> None:
+        """Called after an artifact was successfully read back (a hit)."""
+
+
+class ReplayVerifier(CacheProbe):
+    """Probe asserting that cache-hit replays equal the stored originals.
+
+    Stores a fingerprint of every artifact at :meth:`on_store` time and
+    compares each later replay against it: ``str``/``bytes`` artifacts (and
+    tuples of them, e.g. compiled-simulator sources) must be bit-identical;
+    everything else must compare equal.  Mismatches are collected in
+    :attr:`mismatches` — one human-readable line per event — so a fuzzing
+    oracle (or a paranoid production run) can fail loudly instead of
+    silently trusting a corrupted or stale cache entry.
+    """
+
+    def __init__(self) -> None:
+        self.stored: dict[tuple[str, str], Any] = {}
+        self.replays = 0
+        self.mismatches: list[str] = []
+
+    def on_store(self, kind: str, key: str, value: Any) -> None:
+        self.stored[(kind, key)] = value
+
+    def on_replay(self, kind: str, key: str, value: Any) -> None:
+        self.replays += 1
+        if (kind, key) not in self.stored:
+            return  # stored by an earlier process; nothing to compare against
+        original = self.stored[(kind, key)]
+        if not _replay_equal(original, value):
+            self.mismatches.append(
+                f"{kind}/{key[:12]}: replayed artifact differs from the "
+                "value stored this run"
+            )
+
+
+def _replay_equal(original: Any, replayed: Any) -> bool:
+    if type(original) is not type(replayed):
+        return False
+    if isinstance(original, (str, bytes)):
+        return bool(original == replayed)  # bit-identical by definition
+    if isinstance(original, tuple):
+        return len(original) == len(replayed) and all(
+            _replay_equal(a, b) for a, b in zip(original, replayed)
+        )
+    result = original == replayed
+    return bool(result)
+
+
+_PROBE: CacheProbe | None = None
+
+
+def active_probe() -> CacheProbe | None:
+    """The process-wide cache probe, or ``None`` when none is installed."""
+    return _PROBE
+
+
+def set_cache_probe(probe: CacheProbe | None) -> CacheProbe | None:
+    """Install (or remove, with ``None``) the process-wide cache probe.
+
+    Returns the previously active probe so callers can restore it.
+    """
+    global _PROBE
+    previous = _PROBE
+    _PROBE = probe
+    return previous
+
+
+@contextmanager
+def cache_probe(probe: CacheProbe) -> Iterator[CacheProbe]:
+    """Activate a :class:`CacheProbe` for the duration of a block."""
+    previous = set_cache_probe(probe)
+    try:
+        yield probe
+    finally:
+        set_cache_probe(previous)

@@ -7,12 +7,11 @@ brute-force detectability.
 
 from __future__ import annotations
 
-import numpy as np
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.baseline import per_transition_tests
 from repro.core.generator import generate_tests
-from repro.fsm.state_table import StateTable
+from repro.fuzz.strategies import state_tables
 from repro.gatelevel.bridging import enumerate_bridging_faults
 from repro.gatelevel.compiled import CompiledFaultSimulator
 from repro.gatelevel.detectability import (
@@ -31,36 +30,10 @@ SETTINGS = settings(
 )
 
 
-@st.composite
-def machines(draw):
-    n_states = draw(st.integers(2, 5))
-    n_inputs = draw(st.integers(1, 2))
-    n_outputs = draw(st.integers(1, 2))
-    n_cols = 1 << n_inputs
-    next_state = draw(
-        st.lists(
-            st.lists(st.integers(0, n_states - 1), min_size=n_cols, max_size=n_cols),
-            min_size=n_states,
-            max_size=n_states,
-        )
-    )
-    output = draw(
-        st.lists(
-            st.lists(
-                st.integers(0, (1 << n_outputs) - 1),
-                min_size=n_cols,
-                max_size=n_cols,
-            ),
-            min_size=n_states,
-            max_size=n_states,
-        )
-    )
-    return StateTable(
-        np.array(next_state, dtype=np.int32),
-        np.array(output, dtype=np.int64),
-        n_inputs,
-        n_outputs,
-        name="random",
+def machines():
+    """Small machines the gate-level stack can synthesize quickly."""
+    return state_tables(
+        min_states=2, max_states=5, min_inputs=1, min_outputs=1
     )
 
 

@@ -2,14 +2,13 @@
 
 from __future__ import annotations
 
-import numpy as np
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core import export
 from repro.core.baseline import per_transition_tests
 from repro.core.generator import generate_tests
 from repro.core.schedule import TestSchedule
-from repro.fsm.state_table import StateTable
+from repro.fuzz.strategies import state_tables
 from repro.nonscan.generator import generate_nonscan_sequence
 from repro.nonscan.synchronizing import (
     find_homing_sequence,
@@ -21,39 +20,6 @@ SETTINGS = settings(
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
-
-
-@st.composite
-def state_tables(draw, max_states=6, max_inputs=2, max_outputs=2):
-    n_states = draw(st.integers(1, max_states))
-    n_inputs = draw(st.integers(0, max_inputs))
-    n_outputs = draw(st.integers(0, max_outputs))
-    n_cols = 1 << n_inputs
-    next_state = draw(
-        st.lists(
-            st.lists(st.integers(0, n_states - 1), min_size=n_cols, max_size=n_cols),
-            min_size=n_states,
-            max_size=n_states,
-        )
-    )
-    output = draw(
-        st.lists(
-            st.lists(
-                st.integers(0, (1 << n_outputs) - 1),
-                min_size=n_cols,
-                max_size=n_cols,
-            ),
-            min_size=n_states,
-            max_size=n_states,
-        )
-    )
-    return StateTable(
-        np.array(next_state, dtype=np.int32),
-        np.array(output, dtype=np.int64),
-        n_inputs,
-        n_outputs,
-        name="random",
-    )
 
 
 class TestExportProperties:

@@ -6,14 +6,13 @@ procedure must uphold on *any* completely specified Mealy machine.
 
 from __future__ import annotations
 
-import numpy as np
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.config import GeneratorConfig
 from repro.core.coverage import verify_test_set
 from repro.core.generator import generate_tests
 from repro.core.testset import baseline_clock_cycles
-from repro.fsm.state_table import StateTable
+from repro.fuzz.strategies import state_tables
 from repro.uio.partial import pairwise_distinguishing_sequence
 from repro.uio.search import compute_uio_table
 from repro.uio.transfer import find_transfer
@@ -23,39 +22,6 @@ SETTINGS = settings(
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
-
-
-@st.composite
-def state_tables(draw, max_states=6, max_inputs=2, max_outputs=2):
-    n_states = draw(st.integers(1, max_states))
-    n_inputs = draw(st.integers(0, max_inputs))
-    n_outputs = draw(st.integers(0, max_outputs))
-    n_cols = 1 << n_inputs
-    next_state = draw(
-        st.lists(
-            st.lists(st.integers(0, n_states - 1), min_size=n_cols, max_size=n_cols),
-            min_size=n_states,
-            max_size=n_states,
-        )
-    )
-    output = draw(
-        st.lists(
-            st.lists(
-                st.integers(0, (1 << n_outputs) - 1),
-                min_size=n_cols,
-                max_size=n_cols,
-            ),
-            min_size=n_states,
-            max_size=n_states,
-        )
-    )
-    return StateTable(
-        np.array(next_state, dtype=np.int32),
-        np.array(output, dtype=np.int64),
-        n_inputs,
-        n_outputs,
-        name="random",
-    )
 
 
 class TestUioProperties:
