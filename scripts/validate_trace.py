@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Validate a Chrome ``trace_event`` file written by ``repro-fsatpg trace``.
+
+Usage:  python scripts/validate_trace.py trace.json [more.json ...]
+
+Checks each file against the subset of the Chrome trace_event schema that
+chrome://tracing and Perfetto require (``traceEvents`` array, ``name``/
+``ph``/``pid``/``tid`` on every event, numeric ``ts``/``dur`` on complete
+events).  Exits non-zero on the first invalid file, printing one line per
+problem — used by the CI trace-smoke job and handy before filing a trace
+into an issue.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without `pip install -e .`
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.obs.trace import validate_chrome_trace
+
+
+def main(argv: list[str] | None = None) -> int:
+    paths = argv if argv is not None else sys.argv[1:]
+    if not paths:
+        print("usage: validate_trace.py TRACE.json [...]", file=sys.stderr)
+        return 2
+    status = 0
+    for path in paths:
+        try:
+            with open(path) as handle:
+                obj = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: unreadable: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        problems = validate_chrome_trace(obj)
+        if problems:
+            for problem in problems:
+                print(f"{path}: {problem}", file=sys.stderr)
+            status = 1
+        else:
+            n = len(obj.get("traceEvents", []))
+            print(f"{path}: OK ({n} events)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

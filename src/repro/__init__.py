@@ -75,10 +75,12 @@ __all__ = [
     "FuzzReport",
     "oracle_names",
     "run_fuzz",
+    "obs",
 ]
 
 # The fuzzing subsystem pulls in the whole gate-level stack; load it on
-# first attribute access so `import repro` stays light.
+# first attribute access so `import repro` stays light.  `repro.obs` is
+# cheap but only needed by profiled runs, so it loads the same way.
 _FUZZ_EXPORTS = {"FuzzConfig", "FuzzReport", "oracle_names", "run_fuzz"}
 
 
@@ -87,4 +89,8 @@ def __getattr__(name: str) -> Any:
         from repro import fuzz
 
         return getattr(fuzz, name)
+    if name == "obs":
+        import repro.obs
+
+        return repro.obs
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

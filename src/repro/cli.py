@@ -14,11 +14,19 @@ Subcommands
 ``claims``     — run the reproduction certificate (exit 1 on any failure)
 ``bench``      — serial vs parallel vs warm-cache timing (BENCH_perf.json)
 ``cache``      — inspect (``info``) or wipe (``clear``) the artifact cache
+``trace``      — run a table/circuit pipeline with span tracing on and
+                 write a Chrome ``trace_event`` file (chrome://tracing,
+                 Perfetto)
+``stats``      — same run, but print a profile (top spans by self time,
+                 counter/histogram tables) instead of a trace file
 
 Table-regeneration commands accept ``--jobs N`` to fan the per-circuit
 pipeline across worker processes and ``--cache-dir PATH`` to reuse
 artifacts (UIO tables, synthesized netlists, detectability sets, compiled
 simulator source) across invocations; results are identical either way.
+They also accept ``--trace-out PATH`` / ``--metrics-out PATH`` to capture
+a trace or metrics snapshot of any normal run (see docs/observability.md),
+and the top-level ``-v``/``-q`` flags gate the structured stderr logger.
 
 Examples
 --------
@@ -267,9 +275,12 @@ def _cache_root(args: argparse.Namespace) -> str | None:
 
 
 def _cmd_cache_info(args: argparse.Namespace) -> int:
-    from repro.perf.cache import ArtifactCache
+    from repro.perf.cache import ArtifactCache, active_cache
 
-    info = ArtifactCache(_cache_root(args)).info()
+    # Prefer the in-process cache when one is active so the session
+    # hit/miss counters reflect real traffic, not a fresh zeroed instance.
+    cache = active_cache() or ArtifactCache(_cache_root(args))
+    info = cache.info()
     print(f"root      {info['root']}")
     print(f"format    {info['format']}")
     versions = " ".join(f"{k}={v}" for k, v in sorted(info["versions"].items()))
@@ -278,6 +289,9 @@ def _cmd_cache_info(args: argparse.Namespace) -> int:
         print(f"  {kind:<18} {stats['entries']:6d} entries  "
               f"{stats['bytes']:12,d} bytes")
     print(f"total     {info['entries']} entries, {info['bytes']:,} bytes")
+    session = info["session"]
+    print(f"session   {session['hits']} hit(s), {session['misses']} miss(es)"
+          f" ({100.0 * session['hit_rate']:.1f}% hit rate)")
     return 0
 
 
@@ -302,11 +316,17 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         for name in oracle_names():
             print(f"{name}: {get_oracle(name).description}")
         return 0
+    from repro.obs.log import INFO, get_logger, set_verbosity, verbosity
+
+    if args.verbose and verbosity() > INFO:
+        # `fuzz -v` predates the global -v flag; keep it working.
+        set_verbosity(INFO)
+    logger = get_logger("fuzz")
     progress: Callable[[str], None] | None = None
-    if args.verbose:
+    if verbosity() <= INFO:
 
         def progress(message: str) -> None:
-            print(message, file=sys.stderr)
+            logger.info(message)
     try:
         config = FuzzConfig(
             cases=args.cases,
@@ -329,6 +349,102 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     else:
         print(report.render(), end="")
     return 0 if report.ok else 1
+
+
+def _trace_targets(args: argparse.Namespace) -> tuple[int | None, tuple[str, ...]]:
+    """Resolve a ``trace``/``stats`` target into (table number, circuits)."""
+    target = args.target
+    if target in circuit_names():
+        return None, (target,)
+    if target.startswith("table") and target[5:] in tuple("23456789"):
+        circuits = tuple(
+            name.strip() for name in args.circuit.split(",") if name.strip()
+        )
+        return int(target[5:]), circuits or ("lion",)
+    print(f"error: unknown trace target {target!r} "
+          "(expected table2..table9 or a circuit name)", file=sys.stderr)
+    raise SystemExit(2)
+
+
+def _run_observed(args: argparse.Namespace):
+    """Run the target pipeline under a fresh obs session; returns it.
+
+    The full three-phase sweep runs for the selected circuits (so UIO
+    search, transfer, chaining, and fault-simulation spans all appear even
+    for purely functional tables), then the table itself renders from the
+    warmed studies.
+    """
+    from repro import obs
+
+    number, circuits = _trace_targets(args)
+    options = _options_from(args)
+    jobs = getattr(args, "jobs", 1) or 1
+    table_text = ""
+    with obs.observing() as session:
+        experiments.warm_studies(circuits, options, jobs=jobs)
+        if number is not None:
+            if number in (2, 3):
+                function = getattr(experiments, f"table{number}")
+                rows = function(circuits[0], options)
+            elif number == 8:
+                rows = experiments.table8(circuits, options)
+            elif number == 9:
+                rows = experiments.table9(circuits, options)
+            else:
+                function = getattr(experiments, f"table{number}")
+                rows = function(circuits, options)
+            table_text = render(number, rows)
+    return session, table_text
+
+
+def _write_chrome_trace(path: str, events) -> None:
+    import json as _json
+
+    from repro.obs.trace import to_chrome
+
+    with open(path, "w") as handle:
+        _json.dump(to_chrome(events), handle)
+
+
+def _write_metrics(path: str, registry) -> None:
+    import json as _json
+
+    with open(path, "w") as handle:
+        _json.dump(registry.snapshot(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.trace import render_span_tree
+
+    session, table_text = _run_observed(args)
+    events = session.tracer.events
+    if table_text:
+        print(table_text)
+        print()
+    print(render_span_tree(events))
+    _write_chrome_trace(args.trace_out, events)
+    print(f"wrote {len(events)} span(s) to {args.trace_out} "
+          "(load in chrome://tracing or https://ui.perfetto.dev)")
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, session.registry)
+        print(f"wrote metrics snapshot to {args.metrics_out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs.report import render_stats
+
+    session, table_text = _run_observed(args)
+    if table_text:
+        print(table_text)
+        print()
+    print(render_stats(session.tracer.events, session.registry, top=args.top))
+    if args.trace_out:
+        _write_chrome_trace(args.trace_out, session.tracer.events)
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, session.registry)
+    return 0
 
 
 def _table_command(number: int):
@@ -382,6 +498,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="Functional test generation for full scan circuits "
         "(Pomeranz & Reddy, DATE 2000).",
     )
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        dest="verbose_global",
+                        help="structured progress logging on stderr "
+                        "(-vv for debug)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        dest="quiet_global",
+                        help="errors only on stderr")
     sub = parser.add_subparsers(dest="command", required=True)
 
     info = sub.add_parser("info", help="show one circuit's parameters")
@@ -454,6 +577,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache-dir", default=None, metavar="PATH",
                        help="enable the artifact cache rooted at PATH "
                        "('default' = ~/.cache/repro-fsatpg)")
+        p.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write a Chrome trace_event file of this run "
+                       "(chrome://tracing / Perfetto)")
+        p.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write a JSON metrics snapshot of this run")
 
     for number in range(2, 10):
         help_text = {
@@ -564,6 +692,45 @@ def build_parser() -> argparse.ArgumentParser:
                        help="report path ('-' prints JSON to stdout)")
     bench.set_defaults(func=_cmd_bench)
 
+    def add_trace_like(name: str, help_text: str) -> argparse.ArgumentParser:
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("target",
+                       help="what to run: table2..table9 or a circuit name")
+        p.add_argument("--circuit", default="", metavar="NAMES",
+                       help="comma-separated circuits for a tableN target "
+                       "(default: lion)")
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes; worker spans merge under "
+                       "the parent sweep span")
+        p.add_argument("--uio-length", type=int, default=None)
+        p.add_argument("--transfer-length", type=int, default=1)
+        p.add_argument("--scan-ratio", type=int, default=1)
+        p.add_argument("--max-fanin", type=int, default=4)
+        p.add_argument("--bridging-limit", type=int, default=500)
+        p.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="also write a JSON metrics snapshot")
+        return p
+
+    trace = add_trace_like(
+        "trace",
+        "run one table/circuit pipeline with span tracing and export a "
+        "Chrome trace_event file",
+    )
+    trace.add_argument("--trace-out", default="trace.json", metavar="PATH",
+                       help="Chrome trace output path (default: trace.json)")
+    trace.set_defaults(func=_cmd_trace, obs_managed=True)
+
+    stats = add_trace_like(
+        "stats",
+        "run one table/circuit pipeline and print a profile: top spans by "
+        "self time plus counter/histogram tables",
+    )
+    stats.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="also write a Chrome trace_event file")
+    stats.add_argument("--top", type=int, default=15,
+                       help="span rows to show (default: 15)")
+    stats.set_defaults(func=_cmd_stats, obs_managed=True)
+
     cache = sub.add_parser(
         "cache", help="inspect or clear the on-disk artifact cache"
     )
@@ -586,10 +753,39 @@ def _normalize(args: argparse.Namespace) -> None:
         args.bridging_limit = None
 
 
+def _run_command(args: argparse.Namespace) -> int:
+    """Dispatch, optionally under an obs session for --trace-out/--metrics-out.
+
+    The ``trace``/``stats`` commands manage their own session
+    (``obs_managed``); every other command gets observability wrapped around
+    it only when an output path asks for it, so the default path stays
+    collector-free.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if getattr(args, "obs_managed", False) or not (trace_out or metrics_out):
+        return args.func(args)
+    from repro import obs
+
+    with obs.observing() as session:
+        code = args.func(args)
+    if trace_out:
+        _write_chrome_trace(trace_out, session.tracer.events)
+        print(f"wrote {len(session.tracer.events)} span(s) to {trace_out}",
+              file=sys.stderr)
+    if metrics_out:
+        _write_metrics(metrics_out, session.registry)
+        print(f"wrote metrics snapshot to {metrics_out}", file=sys.stderr)
+    return code
+
+
 def main(argv: Sequence[str] | None = None) -> int:
+    from repro.obs.log import set_verbosity, verbosity_from_flags
+
     parser = build_parser()
     args = parser.parse_args(argv)
     _normalize(args)
+    set_verbosity(verbosity_from_flags(args.verbose_global, args.quiet_global))
     try:
         # `bench` and `cache` manage the cache themselves; everything else
         # opts in through --cache-dir (artifacts are then reused across
@@ -602,8 +798,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             from repro.perf.cache import cache_enabled
 
             with cache_enabled(_cache_root(args)):
-                return args.func(args)
-        return args.func(args)
+                return _run_command(args)
+        return _run_command(args)
     except BrokenPipeError:  # output piped into e.g. `head`: not an error
         return 0
 

@@ -34,6 +34,9 @@ from repro.core.config import GeneratorConfig
 from repro.core.testset import ScanTest, Segment, SegmentKind, TestSet
 from repro.errors import GenerationError
 from repro.fsm.state_table import StateTable
+from repro.obs.metrics import current_registry
+from repro.obs.trace import complete_event, tracing_active
+from repro.obs.trace import span as trace_span
 from repro.uio.partial import PartialUioSet, compute_partial_uio_set
 from repro.uio.search import UioTable, compute_uio_table
 from repro.uio.transfer import find_transfer
@@ -115,6 +118,15 @@ class _Generator:
         self._partial_cache: dict[int, PartialUioSet | None] = {}
         self.partial_used: dict[int, PartialUioSet] = {}
         self.partial_progress: dict[tuple[int, int], set[int]] = {}
+        # Chaining-decision accounting.  Plain local ints, folded into the
+        # metrics registry once per run by generate_tests; transfer-search
+        # time is only accumulated while a tracer is installed (two extra
+        # clock reads per lookup otherwise avoided).
+        self.n_chained = 0
+        self.n_scan_out = 0
+        self.n_transfer_steps = 0
+        self.transfer_ns = 0
+        self._time_transfers = tracing_active()
 
     # ------------------------------------------------------------ bookkeeping
 
@@ -146,6 +158,15 @@ class _Generator:
 
     def find_transfer_step(self, source: int) -> tuple[tuple[int, ...], int] | None:
         """Transfer ``(inputs, destination)`` into a state with untested work."""
+        if not self._time_transfers:
+            return self._find_transfer_step(source)
+        started = time.perf_counter_ns()
+        try:
+            return self._find_transfer_step(source)
+        finally:
+            self.transfer_ns += time.perf_counter_ns() - started
+
+    def _find_transfer_step(self, source: int) -> tuple[tuple[int, ...], int] | None:
         bound = self.config.max_transfer_length
         if bound == 0:
             return None
@@ -219,16 +240,19 @@ class _Generator:
                     if self.config.credit_incidental:
                         self.credit_segment(uio_seq.final_state, path)
                     follow = self.first_untested(landing)
+                    self.n_transfer_steps += 1
                 if follow is None:
                     raise GenerationError(
                         "transfer destination lost its untested transitions"
                     )  # pragma: no cover
                 state, combo = landing, follow
+                self.n_chained += 1
                 continue
             if self.config.use_partial_uio:
                 step = self._try_partial_step(state, combo, next_state, segments)
                 if step is not None:
                     state, combo = step
+                    self.n_chained += 1
                     continue
             self.mark_tested(state, combo)  # verified by the final scan-out
             return self._finish(start_state, segments, next_state)
@@ -283,6 +307,7 @@ class _Generator:
             if self.config.credit_incidental:
                 self.credit_segment(segments[-1].start_state, path)
             follow = self.first_untested(landing)
+            self.n_transfer_steps += 1
         if follow is None:
             raise GenerationError(
                 "transfer destination lost its untested transitions"
@@ -300,6 +325,7 @@ class _Generator:
         )
         test = ScanTest(start_state, inputs, final_state, tuple(segments), tested)
         self.tests.append(test)
+        self.n_scan_out += 1
         return test
 
     # ---------------------------------------------------------------- driver
@@ -376,7 +402,32 @@ def generate_tests(
     preflight_machine(table, GenerationError)
     started = time.perf_counter()
     generator = _Generator(table, config, uio_table)
-    generator.run()
+    with trace_span(
+        "testgen.chaining", machine=table.name, transitions=table.n_transitions
+    ) as sp:
+        generator.run()
+        if generator.transfer_ns:
+            # Aggregate span for the transfer lookups: individual calls are
+            # microseconds each, so per-call spans would dwarf the work.
+            complete_event(
+                "testgen.transfer",
+                generator.transfer_ns / 1e9,
+                steps=generator.n_transfer_steps,
+            )
+        sp.set(
+            tests=len(generator.tests),
+            chained=generator.n_chained,
+            scan_out=generator.n_scan_out,
+        )
+    registry = current_registry()
+    if registry is not None:
+        registry.counter("testgen.tests").add(len(generator.tests))
+        registry.counter("testgen.chained").add(generator.n_chained)
+        registry.counter("testgen.scan_out").add(generator.n_scan_out)
+        registry.counter("testgen.transfer_steps").add(generator.n_transfer_steps)
+        registry.histogram("testgen.test_length").observe(
+            max((test.length for test in generator.tests), default=0)
+        )
     elapsed = time.perf_counter() - started
     test_set = TestSet(
         table.name,

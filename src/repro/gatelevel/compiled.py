@@ -37,6 +37,8 @@ from repro.fsm.state_table import StateTable
 from repro.gatelevel.fault_sim import Fault, _Batch
 from repro.gatelevel.netlist import GateType
 from repro.gatelevel.scan import ScanCircuit
+from repro.obs.metrics import current_registry
+from repro.obs.trace import span as trace_span
 
 __all__ = ["CompiledFaultSimulator"]
 
@@ -60,7 +62,17 @@ class CompiledFaultSimulator:
         self._fault_bits = {fault: bit for bit, fault in enumerate(self.faults)}
         #: per bridged line: total bridge mask and the rule list
         self._bridge_lines = sorted(self._batch.bridges)
-        self._eff_fn, self._raw_fn = self._compile()
+        with trace_span(
+            "faultsim.compile",
+            circuit=circuit.name,
+            n_faults=len(self.faults),
+            n_gates=circuit.netlist.n_gates,
+        ):
+            self._eff_fn, self._raw_fn = self._compile()
+        registry = current_registry()
+        if registry is not None:
+            registry.counter("faultsim.compiled_universes").add(1)
+            registry.counter("faultsim.compiled_faults").add(len(self.faults))
 
     # -------------------------------------------------------------- codegen
 
@@ -253,6 +265,10 @@ class CompiledFaultSimulator:
             low = (mask & -mask).bit_length() - 1
             found.append(self.faults[low])
             mask &= mask - 1
+        registry = current_registry()
+        if registry is not None:
+            registry.counter("faultsim.compiled_calls").add(1)
+            registry.counter("faultsim.compiled_detected").add(len(found))
         return frozenset(found)
 
     def make_effective_simulator(self):

@@ -40,6 +40,7 @@ from repro.gatelevel.bridging import BridgeKind, BridgingFault
 from repro.gatelevel.netlist import GateType, Netlist
 from repro.gatelevel.scan import ScanCircuit
 from repro.gatelevel.stuck_at import StuckAtFault
+from repro.obs.metrics import current_registry
 
 __all__ = [
     "FaultSimResult",
@@ -292,15 +293,34 @@ def detects(
     if batch_bits is None:
         batch_bits = adaptive_batch_bits(len(fault_list))
     found: set[Fault] = set()
+    # Per-batch detection counts stay in a plain local list; the metrics
+    # registry is consulted once per detects() call, after the hot loop.
+    per_batch: list[int] = []
     for start in range(0, len(fault_list), batch_bits):
         chunk = fault_list[start : start + batch_bits]
         batch = _Batch(circuit.netlist, chunk)
         mask = _simulate_test_on_batch(circuit, table, batch, test)
+        per_batch.append(mask.bit_count())
         while mask:
             low = (mask & -mask).bit_length() - 1
             found.add(chunk[low])
             mask &= mask - 1
+    _report_batches(len(fault_list), per_batch)
     return found
+
+
+def _report_batches(n_faults: int, per_batch: list[int]) -> None:
+    """Fold one detects() call's batch accounting into the metrics registry."""
+    registry = current_registry()
+    if registry is None:
+        return
+    registry.counter("faultsim.calls").add(1)
+    registry.counter("faultsim.batches").add(len(per_batch))
+    registry.counter("faultsim.faults_simulated").add(n_faults)
+    registry.counter("faultsim.detected").add(sum(per_batch))
+    histogram = registry.histogram("faultsim.batch_detected")
+    for count in per_batch:
+        histogram.observe(count)
 
 
 def make_simulator(

@@ -32,6 +32,7 @@ from repro.gatelevel.stuck_at import StuckAtFault, collapse_stuck_at
 from repro.gatelevel.synthesis import SynthesisOptions
 from repro.harness.runtime import StageTimings
 from repro.harness.tables import format_csv, format_table
+from repro.obs.trace import span as trace_span
 from repro.uio.search import UioTable, compute_uio_table
 
 # NOTE: repro.perf is imported inside the methods that use it.
@@ -151,15 +152,19 @@ class CircuitStudy:
     @cached_property
     def stuck_at_selection(self) -> EffectiveSelection:
         _, undetectable = self.stuck_at_detectability
-        simulator = CompiledFaultSimulator(
-            self.scan_circuit, self.table, self.stuck_at_faults
-        )
-        return select_effective_tests(
-            self.generation.test_set,
-            simulator.make_effective_simulator(),
-            self.stuck_at_faults,
-            stop_when_exhausted=undetectable,
-        )
+        with trace_span(
+            "faultsim.select", circuit=self.name, model="stuck_at",
+            n_faults=len(self.stuck_at_faults),
+        ):
+            simulator = CompiledFaultSimulator(
+                self.scan_circuit, self.table, self.stuck_at_faults
+            )
+            return select_effective_tests(
+                self.generation.test_set,
+                simulator.make_effective_simulator(),
+                self.stuck_at_faults,
+                stop_when_exhausted=undetectable,
+            )
 
     @cached_property
     def bridging_faults(self) -> list[BridgingFault]:
@@ -184,15 +189,19 @@ class CircuitStudy:
             return select_effective_tests(
                 self.generation.test_set, lambda test, remaining: set(), ()
             )
-        simulator = CompiledFaultSimulator(
-            self.scan_circuit, self.table, self.bridging_faults
-        )
-        return select_effective_tests(
-            self.generation.test_set,
-            simulator.make_effective_simulator(),
-            self.bridging_faults,
-            stop_when_exhausted=undetectable,
-        )
+        with trace_span(
+            "faultsim.select", circuit=self.name, model="bridging",
+            n_faults=len(self.bridging_faults),
+        ):
+            simulator = CompiledFaultSimulator(
+                self.scan_circuit, self.table, self.bridging_faults
+            )
+            return select_effective_tests(
+                self.generation.test_set,
+                simulator.make_effective_simulator(),
+                self.bridging_faults,
+                stop_when_exhausted=undetectable,
+            )
 
 
 _STUDIES: dict[tuple[str, StudyOptions], CircuitStudy] = {}

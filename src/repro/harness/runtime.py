@@ -6,6 +6,15 @@ extends that into structured per-stage records — one :class:`StageRecord` per
 plus cache hit/miss counters.  The perf engine merges the timings of its
 worker processes into one object, and ``repro-fsatpg bench`` serializes them
 into ``BENCH_perf.json``.
+
+Since the :mod:`repro.obs` subsystem landed, ``StageTimings`` is a thin
+wrapper over the span tracer: :meth:`StageTimings.stage` *is* a span — the
+recorded seconds are read back from the span's own measurement — and
+explicitly-recorded stages (:meth:`StageTimings.add`, e.g. zero-second
+cache hits) emit an equivalent completed span.  When tracing is enabled,
+``BENCH_perf.json`` stage totals and the exported trace therefore come from
+the same clock readings and can never disagree; when tracing is disabled
+the span calls degrade to bare monotonic-clock reads.
 """
 
 from __future__ import annotations
@@ -14,6 +23,9 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
+
+from repro.obs.trace import _SpanContext, complete_event
+from repro.obs.trace import span as trace_span
 
 __all__ = ["Stopwatch", "stopwatch", "StageRecord", "StageTimings"]
 
@@ -73,6 +85,14 @@ class StageTimings:
     # ------------------------------------------------------------ recording
 
     def add(self, circuit: str, stage: str, seconds: float, cache: str = "") -> None:
+        """Record an externally-measured stage (also emitted as a span)."""
+        self._append(circuit, stage, seconds, cache)
+        attrs = {"circuit": circuit}
+        if cache:
+            attrs["cache"] = cache
+        complete_event(stage, seconds, **attrs)
+
+    def _append(self, circuit: str, stage: str, seconds: float, cache: str) -> None:
         self.records.append(StageRecord(circuit, stage, seconds, cache))
         if cache == "hit":
             self.cache_hits += 1
@@ -80,15 +100,21 @@ class StageTimings:
             self.cache_misses += 1
 
     @contextmanager
-    def stage(self, circuit: str, stage: str) -> Iterator[Stopwatch]:
-        """Time one stage and record it::
+    def stage(self, circuit: str, stage: str) -> Iterator[_SpanContext]:
+        """Time one stage as a span and record it::
 
-            with timings.stage("lion", "uio"):
+            with timings.stage("lion", "uio") as sp:
                 compute()
+                sp.set(cache="miss")     # optional: tag the record
+
+        The seconds recorded into ``BENCH_perf.json`` are the span's own
+        measurement, so trace and bench can never disagree.
         """
-        with stopwatch() as clock:
-            yield clock
-        self.add(circuit, stage, clock.elapsed_s)
+        with trace_span(stage, circuit=circuit) as sp:
+            yield sp
+        self._append(
+            circuit, stage, sp.elapsed_s, str(sp.attrs.get("cache", ""))
+        )
 
     def merge(self, other: "StageTimings") -> None:
         """Fold another timings object (e.g. from a worker) into this one."""

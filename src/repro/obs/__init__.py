@@ -1,0 +1,228 @@
+"""Observability for the ATPG pipeline: spans, metrics, structured logging.
+
+Three zero-dependency pieces, all disabled by default with unmeasurable
+overhead at the instrumented call sites:
+
+* :mod:`repro.obs.trace` — nested span tracing with JSONL and Chrome
+  ``trace_event`` export (``chrome://tracing`` / Perfetto);
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket histograms
+  for search effort, chaining decisions, fault-sim batches, cache traffic;
+* :mod:`repro.obs.log` — a leveled structured logger gated by the CLI's
+  global ``--verbose``/``--quiet`` flags.
+
+Enable both collection systems for a block with :func:`observing`::
+
+    from repro import obs
+
+    with obs.observing() as session:
+        run_pipeline()
+    open("trace.json", "w").write(json.dumps(session.tracer.to_chrome()))
+    print(session.registry.render())
+
+Cross-process aggregation: worker processes (see :mod:`repro.perf.engine`)
+install fresh collectors via :func:`enable_in_worker`, tasks drain them with
+:func:`worker_snapshot`, and the parent folds each returned
+:class:`ObsSnapshot` back in with :func:`absorb_snapshot` — worker spans
+re-parent under the scheduler span that dispatched them, worker metrics
+merge additively.  Span/metric naming conventions are documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.obs.log import (
+    ObsLogger,
+    get_logger,
+    set_verbosity,
+    verbosity_from_flags,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter_add,
+    current_registry,
+    gauge_set,
+    histogram_observe,
+    metrics_active,
+    set_registry,
+)
+from repro.obs.report import aggregate_spans, render_stats
+from repro.obs.trace import (
+    SpanRecord,
+    Tracer,
+    complete_event,
+    current_tracer,
+    events_from_jsonl,
+    render_span_tree,
+    set_tracer,
+    span,
+    span_tree,
+    to_chrome,
+    to_jsonl,
+    traced,
+    tracing_active,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsLogger",
+    "ObsSnapshot",
+    "Observation",
+    "SpanRecord",
+    "Tracer",
+    "absorb_snapshot",
+    "aggregate_spans",
+    "complete_event",
+    "counter_add",
+    "current_registry",
+    "current_tracer",
+    "disable",
+    "enable",
+    "enable_in_worker",
+    "events_from_jsonl",
+    "gauge_set",
+    "get_logger",
+    "histogram_observe",
+    "in_worker",
+    "is_active",
+    "metrics_active",
+    "observing",
+    "render_span_tree",
+    "render_stats",
+    "set_registry",
+    "set_tracer",
+    "set_verbosity",
+    "span",
+    "span_tree",
+    "to_chrome",
+    "to_jsonl",
+    "traced",
+    "tracing_active",
+    "validate_chrome_trace",
+    "verbosity_from_flags",
+    "worker_snapshot",
+]
+
+
+@dataclass
+class Observation:
+    """A live collection session: the installed tracer + registry pair."""
+
+    tracer: Tracer
+    registry: MetricsRegistry
+
+
+@dataclass
+class ObsSnapshot:
+    """Picklable spans + metrics drained from one process (or task)."""
+
+    spans: list[SpanRecord] = field(default_factory=list)
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return bool(self.spans) or bool(self.metrics)
+
+
+def enable() -> Observation:
+    """Install a fresh tracer + metrics registry process-wide."""
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    set_tracer(tracer)
+    set_registry(registry)
+    return Observation(tracer, registry)
+
+
+def disable() -> None:
+    """Remove the process-wide tracer and registry (collection stops)."""
+    set_tracer(None)
+    set_registry(None)
+
+
+def is_active() -> bool:
+    return tracing_active() or metrics_active()
+
+
+@contextmanager
+def observing() -> Iterator[Observation]:
+    """Enable span + metric collection for a block; restores prior state."""
+    previous_tracer = current_tracer()
+    previous_registry = current_registry()
+    session = enable()
+    try:
+        yield session
+    finally:
+        set_tracer(previous_tracer)
+        set_registry(previous_registry)
+
+
+# -------------------------------------------------------- worker aggregation
+
+_IN_WORKER = False
+
+
+def enable_in_worker() -> None:
+    """Install fresh collectors in a pool worker process.
+
+    Called from the pool initializer when the parent had observability on.
+    A forked worker inherits the parent's tracer object — including every
+    event the parent already recorded — so a *fresh* pair is mandatory to
+    keep worker snapshots disjoint from the parent log.
+    """
+    global _IN_WORKER
+    _IN_WORKER = True
+    enable()
+
+
+def in_worker() -> bool:
+    return _IN_WORKER
+
+
+def worker_snapshot() -> ObsSnapshot | None:
+    """Drain this worker's spans + metrics, or ``None`` outside a worker.
+
+    Task functions call this at the end of each task; returning ``None``
+    when running inline (serial fallback, ``jobs=1``) is what makes the
+    merge idempotent — inline spans are already in the parent's log.
+    """
+    if not _IN_WORKER:
+        return None
+    tracer = current_tracer()
+    registry = current_registry()
+    snapshot = ObsSnapshot()
+    if tracer is not None:
+        snapshot.spans = tracer.snapshot(reset=True)
+    if registry is not None:
+        snapshot.metrics = registry.snapshot()
+        set_registry(MetricsRegistry())
+    return snapshot
+
+
+def absorb_snapshot(
+    snapshot: ObsSnapshot | None, parent_id: int | None = None
+) -> None:
+    """Fold a worker's :class:`ObsSnapshot` into the parent's collectors.
+
+    Worker root spans re-parent under ``parent_id`` (default: the span open
+    in the parent right now); metrics merge additively.  ``None`` snapshots
+    (inline execution) are ignored.
+    """
+    if snapshot is None:
+        return
+    tracer = current_tracer()
+    if tracer is not None and snapshot.spans:
+        tracer.absorb(snapshot.spans, parent_id)
+    registry = current_registry()
+    if registry is not None and snapshot.metrics:
+        registry.merge_snapshot(snapshot.metrics)

@@ -1,0 +1,285 @@
+"""Process-local metrics registry: counters, gauges, fixed-bucket histograms.
+
+Instrumentation sites call the module-level helpers — :func:`counter_add`,
+:func:`gauge_set`, :func:`histogram_observe` — which are no-ops (one global
+load and a ``None`` check) until a :class:`MetricsRegistry` is installed
+with :func:`set_registry`, usually via :func:`repro.obs.observing`.  Hot
+loops never call the helpers per iteration: algorithms accumulate plain
+local integers (they mostly already do, e.g. the UIO search's ``expanded``
+counter) and report once per call, so the disabled-mode overhead stays
+unmeasurable.
+
+Snapshots (:meth:`MetricsRegistry.snapshot`) are plain JSON-ready dicts and
+merge additively (:meth:`MetricsRegistry.merge_snapshot`), which is how the
+parallel sweep engine folds worker-process metrics into the parent's
+registry.  Snapshot key order is sorted, so serialized metrics are
+byte-stable for a deterministic workload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "current_registry",
+    "set_registry",
+    "metrics_active",
+    "counter_add",
+    "gauge_set",
+    "histogram_observe",
+]
+
+#: Default histogram bucket upper bounds: roughly logarithmic, wide enough
+#: for node counts, frontier sizes, and per-batch detection counts alike.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 10000, 100000,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def add(self, n: float = 1) -> None:
+        self.value += n
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value (e.g. a universe size, a cache entry count)."""
+
+    __slots__ = ("name", "value", "updates")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.updates += 1
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value, "updates": self.updates}
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts of observations ``<= bound`` per bucket.
+
+    ``counts`` has one slot per bound plus a final overflow slot.  Bounds
+    are fixed at creation; merging requires identical bounds.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "peak")
+
+    def __init__(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be a sorted, non-empty tuple")
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total: float = 0
+        self.peak: float = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.peak:
+            self.peak = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "peak": self.peak,
+        }
+
+
+Metric = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Name-keyed metric store with typed accessors and additive merging."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    def _get(self, name: str, kind: type, factory: Any) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(name, bounds))
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._metrics))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __getitem__(self, name: str) -> Metric:
+        return self._metrics[name]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # ------------------------------------------------------------- snapshot
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready, sorted-key view of every metric."""
+        return {
+            name: self._metrics[name].snapshot() for name in self.names()
+        }
+
+    def merge_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker) into this registry.
+
+        Counters and histograms add; gauges keep the incoming value when
+        the incoming side ever wrote one (workers win ties, matching the
+        "last writer" gauge semantics).
+        """
+        for name in sorted(snapshot):
+            data = snapshot[name]
+            kind = data.get("type")
+            if kind == "counter":
+                self.counter(name).add(data["value"])
+            elif kind == "gauge":
+                if data.get("updates", 0):
+                    gauge = self.gauge(name)
+                    gauge.value = data["value"]
+                    gauge.updates += int(data["updates"])
+            elif kind == "histogram":
+                histogram = self.histogram(name, tuple(data["bounds"]))
+                if list(histogram.bounds) != list(data["bounds"]):
+                    raise ValueError(
+                        f"histogram {name!r} bucket bounds differ across merges"
+                    )
+                for index, count in enumerate(data["counts"]):
+                    histogram.counts[index] += count
+                histogram.count += data["count"]
+                histogram.total += data["total"]
+                histogram.peak = max(histogram.peak, data.get("peak", 0))
+            else:
+                raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+
+    # ------------------------------------------------------------ rendering
+
+    def render(self) -> str:
+        """Fixed-width human-readable table of every metric."""
+        lines: list[str] = []
+        counters = [m for m in self.names()
+                    if isinstance(self._metrics[m], Counter)]
+        gauges = [m for m in self.names() if isinstance(self._metrics[m], Gauge)]
+        histograms = [m for m in self.names()
+                      if isinstance(self._metrics[m], Histogram)]
+        if counters:
+            lines.append("counters")
+            for name in counters:
+                value = self._metrics[name].snapshot()["value"]
+                lines.append(f"  {name:<40} {value:>14,g}")
+        if gauges:
+            lines.append("gauges")
+            for name in gauges:
+                value = self._metrics[name].snapshot()["value"]
+                lines.append(f"  {name:<40} {value:>14,g}")
+        if histograms:
+            lines.append("histograms")
+            for name in histograms:
+                metric = self._metrics[name]
+                assert isinstance(metric, Histogram)
+                lines.append(
+                    f"  {name:<40} n={metric.count:<8d} "
+                    f"mean={metric.mean:<10.2f} peak={metric.peak:g}"
+                )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<MetricsRegistry {len(self._metrics)} metrics>"
+
+
+# ----------------------------------------------------------- active registry
+
+_REGISTRY: MetricsRegistry | None = None
+
+
+def current_registry() -> MetricsRegistry | None:
+    """The process-wide registry, or ``None`` when metrics are disabled."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry | None) -> MetricsRegistry | None:
+    """Install (or remove, with ``None``) the process-wide registry."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous
+
+
+def metrics_active() -> bool:
+    return _REGISTRY is not None
+
+
+def counter_add(name: str, n: float = 1) -> None:
+    """Add to a counter; no-op when metrics are disabled."""
+    registry = _REGISTRY
+    if registry is not None:
+        registry.counter(name).add(n)
+
+
+def gauge_set(name: str, value: float) -> None:
+    """Set a gauge; no-op when metrics are disabled."""
+    registry = _REGISTRY
+    if registry is not None:
+        registry.gauge(name).set(value)
+
+
+def histogram_observe(
+    name: str, value: float, bounds: tuple[float, ...] = DEFAULT_BUCKETS
+) -> None:
+    """Observe into a histogram; no-op when metrics are disabled."""
+    registry = _REGISTRY
+    if registry is not None:
+        registry.histogram(name, bounds).observe(value)

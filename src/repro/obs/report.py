@@ -1,0 +1,86 @@
+"""Human-readable summaries of a trace + metrics pair (``repro-fsatpg stats``).
+
+``self time`` is a span's own duration minus the summed durations of its
+direct children — the classic profiler attribution that makes "where did
+the time actually go" answerable even with deeply nested spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import SpanRecord
+
+__all__ = ["SpanStat", "aggregate_spans", "render_stats"]
+
+
+@dataclass
+class SpanStat:
+    """Aggregated timing for one span name."""
+
+    name: str
+    calls: int
+    total_s: float
+    self_s: float
+
+    @property
+    def mean_ms(self) -> float:
+        return 1000.0 * self.total_s / self.calls if self.calls else 0.0
+
+
+def aggregate_spans(events: Sequence[SpanRecord]) -> list[SpanStat]:
+    """Per-name call counts, total and self time, sorted by self time."""
+    child_ns: dict[int, int] = {}
+    for event in events:
+        if event.parent_id is not None:
+            child_ns[event.parent_id] = (
+                child_ns.get(event.parent_id, 0) + event.duration_ns
+            )
+    stats: dict[str, SpanStat] = {}
+    for event in events:
+        stat = stats.get(event.name)
+        if stat is None:
+            stat = stats[event.name] = SpanStat(event.name, 0, 0.0, 0.0)
+        stat.calls += 1
+        stat.total_s += event.duration_ns / 1e9
+        stat.self_s += max(
+            0, event.duration_ns - child_ns.get(event.span_id, 0)
+        ) / 1e9
+    return sorted(
+        stats.values(), key=lambda s: (-s.self_s, s.name)
+    )
+
+
+def render_stats(
+    events: Sequence[SpanRecord],
+    registry: MetricsRegistry | None = None,
+    top: int = 15,
+) -> str:
+    """The ``repro-fsatpg stats`` report: top spans + metric tables."""
+    lines: list[str] = []
+    stats = aggregate_spans(events)
+    wall = sum(
+        e.duration_ns for e in events if e.parent_id is None
+    ) / 1e9
+    lines.append(
+        f"spans: {len(events)} events, {len(stats)} distinct names, "
+        f"{wall:.3f}s in root spans"
+    )
+    if stats:
+        lines.append(
+            f"  {'span':<28} {'calls':>7} {'total s':>9} {'self s':>9} "
+            f"{'self %':>7}"
+        )
+        total_self = sum(stat.self_s for stat in stats) or 1.0
+        for stat in stats[:top]:
+            lines.append(
+                f"  {stat.name:<28} {stat.calls:>7d} {stat.total_s:>9.3f} "
+                f"{stat.self_s:>9.3f} {100.0 * stat.self_s / total_self:>6.1f}%"
+            )
+        if len(stats) > top:
+            lines.append(f"  ... {len(stats) - top} more span name(s)")
+    if registry is not None and len(registry):
+        lines.append(registry.render())
+    return "\n".join(lines)

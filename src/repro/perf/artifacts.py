@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from contextlib import AbstractContextManager
+
 from repro.fsm.kiss import KissMachine
 from repro.fsm.state_table import StateTable
 from repro.gatelevel.bridging import BridgingFault
@@ -27,7 +29,9 @@ from repro.gatelevel.netlist import Netlist
 from repro.gatelevel.scan import ScanCircuit
 from repro.gatelevel.stuck_at import StuckAtFault
 from repro.gatelevel.synthesis import SynthesisOptions
-from repro.harness.runtime import StageTimings, stopwatch
+from repro.harness.runtime import StageTimings
+from repro.obs.trace import _SpanContext, complete_event
+from repro.obs.trace import span as trace_span
 from repro.perf.cache import active_cache, artifact_key
 from repro.uio.search import UioTable, compute_uio_table
 
@@ -104,8 +108,34 @@ def _record(
     seconds: float,
     cache_state: str,
 ) -> None:
+    """Record an externally-measured stage (cache hits report 0.0s).
+
+    ``StageTimings.add`` emits the matching completed span itself; without
+    a timings object the span is emitted directly so serial
+    :class:`~repro.harness.experiments.CircuitStudy` traces still show
+    cache-served stages.
+    """
     if timings is not None:
         timings.add(circuit, stage, seconds, cache_state)
+    else:
+        attrs: dict[str, str] = {"circuit": circuit}
+        if cache_state:
+            attrs["cache"] = cache_state
+        complete_event(stage, seconds, **attrs)
+
+
+def _staged(
+    timings: StageTimings | None, circuit: str, stage: str
+) -> AbstractContextManager[_SpanContext]:
+    """A span-backed stage context: records into ``timings`` when given.
+
+    Both branches yield a handle with ``elapsed_s`` and ``set()``; the
+    recorded seconds come from the span's own clock either way, so the
+    bench records and the trace agree by construction.
+    """
+    if timings is not None:
+        return timings.stage(circuit, stage)
+    return trace_span(stage, circuit=circuit)
 
 
 # ------------------------------------------------------------------ stages
@@ -140,18 +170,13 @@ def cached_uio_table(
                 )
             _record(timings, circuit or table.name, STAGE_UIO, 0.0, "hit")
             return uio, compute_seconds
-    with stopwatch() as clock:
+    with _staged(timings, circuit or table.name, STAGE_UIO) as sp:
+        if cache is not None:
+            sp.set(cache="miss")
         uio = compute_uio_table(table, max_length, node_budget)
     if cache is not None:
-        cache.put("uio", key, (uio, clock.elapsed_s))
-    _record(
-        timings,
-        circuit or table.name,
-        STAGE_UIO,
-        clock.elapsed_s,
-        "miss" if cache is not None else "",
-    )
-    return uio, clock.elapsed_s
+        cache.put("uio", key, (uio, sp.elapsed_s))
+    return uio, sp.elapsed_s
 
 
 def cached_scan_circuit(
@@ -177,19 +202,14 @@ def cached_scan_circuit(
         if stored is not None:
             _record(timings, circuit or name, STAGE_SYNTHESIS, 0.0, "hit")
             return ScanCircuit(stored, name)
-    with stopwatch() as clock:
+    with _staged(timings, circuit or name, STAGE_SYNTHESIS) as sp:
+        if cache is not None:
+            sp.set(cache="miss")
         scan = ScanCircuit.from_machine(machine, options)
         if verify_table is not None:
             scan.verify_against(verify_table)
     if cache is not None and verify_table is not None:
         cache.put("synthesis", key, scan.circuit)
-    _record(
-        timings,
-        circuit or name,
-        STAGE_SYNTHESIS,
-        clock.elapsed_s,
-        "miss" if cache is not None else "",
-    )
     return scan
 
 
@@ -213,17 +233,13 @@ def cached_detectability(
         if stored is not None:
             _record(timings, circuit, STAGE_DETECTABILITY, 0.0, "hit")
             return set(stored[0]), set(stored[1])
-    with stopwatch() as clock:
+    with _staged(timings, circuit, STAGE_DETECTABILITY) as sp:
+        if cache is not None:
+            sp.set(cache="miss")
+        sp.set(n_faults=len(faults))
         detectable, undetectable = detectable_faults(netlist, faults)
     if cache is not None:
         cache.put(
             "detectability", key, (frozenset(detectable), frozenset(undetectable))
         )
-    _record(
-        timings,
-        circuit,
-        STAGE_DETECTABILITY,
-        clock.elapsed_s,
-        "miss" if cache is not None else "",
-    )
     return detectable, undetectable

@@ -14,6 +14,12 @@ writes the result as ``BENCH_perf.json``:
     verification, and the detectability oracle are all served as hits
     (``stage_seconds`` collapse to ~0 and ``cache.hits`` counts them).
 
+A fourth serial run repeats ``serial_cold`` with the :mod:`repro.obs`
+collectors enabled and reports the tracing overhead under
+``observability`` (enabled vs disabled wall time, span/metric counts), so
+the cost of turning profiling on — and the near-zero cost of leaving it
+off — is tracked run over run.
+
 Every run's artifacts are reduced to a timing-free signature
 (:meth:`~repro.perf.engine.StudyArtifacts.signature`) and compared; any
 difference is reported under ``divergence`` and makes the CLI exit
@@ -36,7 +42,7 @@ from repro.perf.engine import StudyArtifacts, compute_studies
 __all__ = ["BENCH_SCHEMA", "default_bench_circuits", "run_bench", "main"]
 
 #: Schema tag stored in BENCH_perf.json; bump when the layout changes.
-BENCH_SCHEMA = "repro-fsatpg-bench/1"
+BENCH_SCHEMA = "repro-fsatpg-bench/2"
 
 #: Circuits for ``--quick`` (CI smoke): small machines with non-trivial
 #: bridging universes, a few seconds per run.
@@ -101,6 +107,13 @@ def run_bench(
 
     serial, serial_record = _run(names, 1, options)
 
+    from repro import obs
+
+    with obs.observing() as session:
+        observed, observed_record = _run(names, 1, options)
+    n_spans = len(session.tracer.events)
+    n_metrics = len(session.registry)
+
     with cache_enabled(root) as cache:
         cache.clear()
         parallel_cold, cold_record = _run(names, jobs, options)
@@ -108,6 +121,7 @@ def run_bench(
 
     divergence = _compare(serial, parallel_cold, "parallel-cold vs serial")
     divergence += _compare(serial, parallel_warm, "parallel-warm vs serial")
+    divergence += _compare(serial, observed, "serial-observed vs serial")
 
     serial_wall = serial_record["wall_s"]
     cold_wall = cold_record["wall_s"]
@@ -126,6 +140,17 @@ def run_bench(
         "speedup_parallel_warm": (
             serial_wall / warm_record["wall_s"] if warm_record["wall_s"] else 0.0
         ),
+        "observability": {
+            "disabled_wall_s": serial_wall,
+            "enabled_wall_s": observed_record["wall_s"],
+            "overhead_pct": (
+                100.0 * (observed_record["wall_s"] - serial_wall) / serial_wall
+                if serial_wall
+                else 0.0
+            ),
+            "spans": n_spans,
+            "metrics": n_metrics,
+        },
         "identical": not divergence,
         "divergence": divergence,
     }
@@ -144,6 +169,12 @@ def _summarize(report: dict[str, Any]) -> str:
     lines.append(
         f"  speedup cold {report['speedup_parallel_cold']:.2f}x, "
         f"warm {report['speedup_parallel_warm']:.2f}x"
+    )
+    observability = report["observability"]
+    lines.append(
+        f"  observability  {observability['enabled_wall_s']:8.2f}s enabled "
+        f"({observability['overhead_pct']:+.1f}% vs disabled, "
+        f"{observability['spans']} spans, {observability['metrics']} metrics)"
     )
     lines.append(
         "  results identical across runs"

@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from repro.errors import ReproError
+from repro.obs.metrics import counter_add
 
 __all__ = [
     "ARTIFACT_VERSIONS",
@@ -186,6 +187,8 @@ class ArtifactCache:
                 value = pickle.load(handle)
         except FileNotFoundError:
             self.misses += 1
+            counter_add("cache.miss")
+            counter_add(f"cache.miss.{kind}")
             return None
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError, MemoryError):
@@ -195,8 +198,12 @@ class ArtifactCache:
             except OSError:
                 pass
             self.misses += 1
+            counter_add("cache.miss")
+            counter_add(f"cache.miss.{kind}")
             return None
         self.hits += 1
+        counter_add("cache.hit")
+        counter_add(f"cache.hit.{kind}")
         if _PROBE is not None:
             _PROBE.on_replay(kind, key, value)
         return value
@@ -243,6 +250,7 @@ class ArtifactCache:
                 kinds[kind_dir.name] = {"entries": entries, "bytes": size}
                 total_entries += entries
                 total_bytes += size
+        lookups = self.hits + self.misses
         return {
             "root": str(self.root),
             "format": CACHE_FORMAT,
@@ -250,6 +258,11 @@ class ArtifactCache:
             "kinds": kinds,
             "entries": total_entries,
             "bytes": total_bytes,
+            "session": {
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": (self.hits / lookups) if lookups else 0.0,
+            },
         }
 
     def clear(self) -> int:

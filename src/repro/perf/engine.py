@@ -42,6 +42,14 @@ from repro.gatelevel.compiled import CompiledFaultSimulator
 from repro.gatelevel.scan import ScanCircuit
 from repro.gatelevel.stuck_at import collapse_stuck_at
 from repro.harness.runtime import StageTimings, stopwatch
+from repro.obs import (
+    ObsSnapshot,
+    absorb_snapshot,
+    enable_in_worker,
+    is_active,
+    worker_snapshot,
+)
+from repro.obs.trace import span as trace_span
 from repro.perf.artifacts import (
     STAGE_FAULT_SIM,
     STAGE_GENERATION,
@@ -139,10 +147,19 @@ class _CircuitPrep:
     #: tests in the exact order the effective-test selection simulates them
     tests: tuple[ScanTest, ...]
     timings: StageTimings
+    #: spans + metrics drained from the worker (``None`` when run inline)
+    obs: ObsSnapshot | None = None
 
 
 def _prepare_circuit(payload: tuple[str, "StudyOptions"]) -> _CircuitPrep:
     name, options = payload
+    with trace_span("circuit.prepare", circuit=name):
+        prep = _prepare_circuit_stages(name, options)
+    prep.obs = worker_snapshot()
+    return prep
+
+
+def _prepare_circuit_stages(name: str, options: "StudyOptions") -> _CircuitPrep:
     timings = StageTimings()
     table = load_circuit(name)
     config = options.config
@@ -187,22 +204,49 @@ def _prepare_circuit(payload: tuple[str, "StudyOptions"]) -> _CircuitPrep:
 
 def _simulate_chunk(
     payload: tuple[str, ScanCircuit, StateTable, tuple[ScanTest, ...], list[Fault]],
-) -> tuple[list[int], StageTimings]:
+) -> tuple[list[int], StageTimings, ObsSnapshot | None]:
     """Detection mask per test for one fault chunk of one circuit."""
     name, scan, table, tests, chunk = payload
     timings = StageTimings()
     cache = active_cache()
     hits = cache.hits if cache is not None else 0
     misses = cache.misses if cache is not None else 0
-    with stopwatch() as clock:
-        simulator = CompiledFaultSimulator(scan, table, chunk)
-        masks = [simulator.detect_mask(test) for test in tests]
-    timings.add(name, STAGE_FAULT_SIM, clock.elapsed_s)
+    with trace_span(
+        "sweep.chunk", circuit=name, n_faults=len(chunk), n_tests=len(tests)
+    ):
+        with stopwatch() as clock:
+            simulator = CompiledFaultSimulator(scan, table, chunk)
+            masks = [simulator.detect_mask(test) for test in tests]
+        timings.add(name, STAGE_FAULT_SIM, clock.elapsed_s)
+        _report_chunk(chunk, masks)
     if cache is not None:
         # The only cache traffic here is the compiled simulator source.
         timings.cache_hits += cache.hits - hits
         timings.cache_misses += cache.misses - misses
-    return masks, timings
+    return masks, timings, worker_snapshot()
+
+
+def _report_chunk(chunk: list[Fault], masks: list[int]) -> None:
+    """Fold one chunk's fault-sim effort into the metrics registry.
+
+    A chunk is one batch of the compiled simulator, so it reports into the
+    same ``faultsim.*`` family as the interpreted batch simulator
+    (:mod:`repro.gatelevel.fault_sim`): ``detected`` counts distinct faults
+    some test caught, ``compiled_calls`` counts per-test mask evaluations.
+    """
+    from repro.obs.metrics import current_registry
+
+    registry = current_registry()
+    if registry is None:
+        return
+    union = 0
+    for mask in masks:
+        union |= mask
+    registry.counter("faultsim.batches").add(1)
+    registry.counter("faultsim.compiled_calls").add(len(masks))
+    registry.counter("faultsim.faults_simulated").add(len(chunk))
+    registry.counter("faultsim.detected").add(union.bit_count())
+    registry.histogram("faultsim.batch_detected").observe(union.bit_count())
 
 
 def _fault_chunks(faults: list[Fault], jobs: int) -> list[list[Fault]]:
@@ -260,8 +304,10 @@ def _select_from_masks(
 # ------------------------------------------------------------ the scheduler
 
 
-def _worker_init(cache_root: str | None) -> None:
+def _worker_init(cache_root: str | None, obs_on: bool = False) -> None:
     set_active_cache(ArtifactCache(cache_root) if cache_root else None)
+    if obs_on:
+        enable_in_worker()
 
 
 def _pool_map(
@@ -276,7 +322,7 @@ def _pool_map(
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(payloads)),
             initializer=_worker_init,
-            initargs=(root,),
+            initargs=(root, is_active()),
         ) as pool:
             return list(pool.map(function, payloads))
     except (OSError, PermissionError):
@@ -302,9 +348,16 @@ def compute_studies(
     options = options or StudyOptions()
     names = list(dict.fromkeys(circuits))
 
-    preps: list[_CircuitPrep] = _pool_map(
-        jobs, _prepare_circuit, [(name, options) for name in names]
-    )
+    # Worker snapshots are absorbed *inside* the phase span that dispatched
+    # them, so worker spans re-parent under "sweep.prepare"/"sweep.simulate";
+    # inline execution (jobs=1 / pool fallback) yields None snapshots because
+    # those spans already live in the parent's log.
+    with trace_span("sweep.prepare", circuits=len(names), jobs=jobs):
+        preps: list[_CircuitPrep] = _pool_map(
+            jobs, _prepare_circuit, [(name, options) for name in names]
+        )
+        for prep in preps:
+            absorb_snapshot(prep.obs)
 
     sim_payloads: list[tuple] = []
     chunk_index: dict[tuple[str, str], list[int]] = {}
@@ -325,49 +378,53 @@ def compute_studies(
                 )
             chunk_index[(prep.name, model)] = positions
 
-    sim_results: list[tuple[list[int], StageTimings]] = _pool_map(
-        jobs, _simulate_chunk, sim_payloads
-    )
+    with trace_span("sweep.simulate", chunks=len(sim_payloads), jobs=jobs):
+        sim_results: list[tuple[list[int], StageTimings, ObsSnapshot | None]] = (
+            _pool_map(jobs, _simulate_chunk, sim_payloads)
+        )
+        for result in sim_results:
+            absorb_snapshot(result[2])
 
     artifacts: dict[str, StudyArtifacts] = {}
-    for prep in preps:
-        if timings is not None:
-            timings.merge(prep.timings)
-        selections: dict[str, EffectiveSelection] = {}
-        for model, faults, detectability in (
-            ("stuck_at", prep.stuck_at_faults, prep.stuck_at_detectability),
-            ("bridging", prep.bridging_faults, prep.bridging_detectability),
-        ):
-            positions = chunk_index[(prep.name, model)]
-            chunk_masks = [sim_results[position][0] for position in positions]
+    with trace_span("sweep.select", circuits=len(names)):
+        for prep in preps:
             if timings is not None:
-                for position in positions:
-                    timings.merge(sim_results[position][1])
-            if model == "bridging" and not faults:
-                # Mirror CircuitStudy: empty bridging universe selects nothing.
-                selections[model] = select_effective_tests(
-                    prep.generation.test_set, lambda test, remaining: set(), ()
+                timings.merge(prep.timings)
+            selections: dict[str, EffectiveSelection] = {}
+            for model, faults, detectability in (
+                ("stuck_at", prep.stuck_at_faults, prep.stuck_at_detectability),
+                ("bridging", prep.bridging_faults, prep.bridging_detectability),
+            ):
+                positions = chunk_index[(prep.name, model)]
+                chunk_masks = [sim_results[position][0] for position in positions]
+                if timings is not None:
+                    for position in positions:
+                        timings.merge(sim_results[position][1])
+                if model == "bridging" and not faults:
+                    # Mirror CircuitStudy: empty bridging universe selects nothing.
+                    selections[model] = select_effective_tests(
+                        prep.generation.test_set, lambda test, remaining: set(), ()
+                    )
+                    continue
+                _, undetectable = detectability
+                selections[model] = _select_from_masks(
+                    prep,
+                    faults,
+                    chunk_lists[(prep.name, model)],
+                    chunk_masks,
+                    set(undetectable),
+                    use_stop=True,
                 )
-                continue
-            _, undetectable = detectability
-            selections[model] = _select_from_masks(
-                prep,
-                faults,
-                chunk_lists[(prep.name, model)],
-                chunk_masks,
-                set(undetectable),
-                use_stop=True,
+            artifacts[prep.name] = StudyArtifacts(
+                prep.name,
+                prep.uio,
+                prep.generation,
+                prep.scan_circuit,
+                prep.stuck_at_faults,
+                prep.stuck_at_detectability,
+                selections["stuck_at"],
+                prep.bridging_faults,
+                prep.bridging_detectability,
+                selections["bridging"],
             )
-        artifacts[prep.name] = StudyArtifacts(
-            prep.name,
-            prep.uio,
-            prep.generation,
-            prep.scan_circuit,
-            prep.stuck_at_faults,
-            prep.stuck_at_detectability,
-            selections["stuck_at"],
-            prep.bridging_faults,
-            prep.bridging_detectability,
-            selections["bridging"],
-        )
     return artifacts

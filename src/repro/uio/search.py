@@ -34,6 +34,8 @@ import numpy as np
 
 from repro.errors import SearchBudgetExceeded, StateTableError
 from repro.fsm.state_table import StateTable
+from repro.obs.metrics import current_registry
+from repro.obs.trace import span as trace_span
 
 __all__ = [
     "UioSequence",
@@ -178,36 +180,58 @@ def find_uio(
     outs = np.asarray(table.output)
     visited: set[tuple[int, frozenset[int]]] = {(state, others)}
     frontier: list[tuple[int, frozenset[int], tuple[int, ...]]] = [(state, others, ())]
+    # Search-effort accounting stays in plain locals — the obs registry is
+    # consulted once per find_uio call (in _report_search), never per node,
+    # so disabled-mode overhead is a handful of integer increments.
     expanded = 0
-    for _depth in range(max_length):
-        next_frontier: list[tuple[int, frozenset[int], tuple[int, ...]]] = []
-        for current, candidates, prefix in frontier:
-            expanded += 1
-            if expanded > node_budget:
-                raise SearchBudgetExceeded(
-                    f"UIO search for state {state} exceeded {node_budget} "
-                    "node expansions",
-                    expanded,
-                )
-            for combo in representatives:
-                out = outs[current, combo]
-                survivors = frozenset(
-                    int(nexts[t, combo]) for t in candidates if outs[t, combo] == out
-                )
-                sequence = prefix + (combo,)
-                if not survivors:
-                    return UioSequence(state, sequence, int(nexts[current, combo]))
-                nxt = int(nexts[current, combo])
-                if nxt in survivors:
-                    continue  # some other state merged with us: dead end
-                node = (nxt, survivors)
-                if node not in visited:
-                    visited.add(node)
-                    next_frontier.append((nxt, survivors, sequence))
-        if not next_frontier:
-            return None
-        frontier = next_frontier
-    return None
+    merge_prunes = 0
+    visited_prunes = 0
+    try:
+        for _depth in range(max_length):
+            next_frontier: list[tuple[int, frozenset[int], tuple[int, ...]]] = []
+            for current, candidates, prefix in frontier:
+                expanded += 1
+                if expanded > node_budget:
+                    raise SearchBudgetExceeded(
+                        f"UIO search for state {state} exceeded {node_budget} "
+                        "node expansions",
+                        expanded,
+                    )
+                for combo in representatives:
+                    out = outs[current, combo]
+                    survivors = frozenset(
+                        int(nexts[t, combo]) for t in candidates if outs[t, combo] == out
+                    )
+                    sequence = prefix + (combo,)
+                    if not survivors:
+                        return UioSequence(state, sequence, int(nexts[current, combo]))
+                    nxt = int(nexts[current, combo])
+                    if nxt in survivors:
+                        merge_prunes += 1
+                        continue  # some other state merged with us: dead end
+                    node = (nxt, survivors)
+                    if node not in visited:
+                        visited.add(node)
+                        next_frontier.append((nxt, survivors, sequence))
+                    else:
+                        visited_prunes += 1
+            if not next_frontier:
+                return None
+            frontier = next_frontier
+        return None
+    finally:
+        _report_search(expanded, merge_prunes, visited_prunes)
+
+
+def _report_search(expanded: int, merge_prunes: int, visited_prunes: int) -> None:
+    """Fold one search's effort counters into the metrics registry."""
+    registry = current_registry()
+    if registry is None:
+        return
+    registry.counter("uio.search.nodes_expanded").add(expanded)
+    registry.counter("uio.search.prunes.merged").add(merge_prunes)
+    registry.counter("uio.search.prunes.visited").add(visited_prunes)
+    registry.histogram("uio.search.nodes_per_state").observe(expanded)
 
 
 def compute_uio_table(
@@ -225,15 +249,27 @@ def compute_uio_table(
     """
     if max_length is None:
         max_length = table.n_state_variables
-    representatives = input_class_representatives(table)
-    sequences: dict[int, UioSequence] = {}
-    exhausted: set[int] = set()
-    for state in range(table.n_states):
-        try:
-            found = find_uio(table, state, max_length, node_budget, representatives)
-        except SearchBudgetExceeded:
-            exhausted.add(state)
-            continue
-        if found is not None:
-            sequences[state] = found
+    with trace_span(
+        "uio.search", machine=table.name, n_states=table.n_states,
+        max_length=max_length,
+    ) as sp:
+        representatives = input_class_representatives(table)
+        sequences: dict[int, UioSequence] = {}
+        exhausted: set[int] = set()
+        for state in range(table.n_states):
+            try:
+                found = find_uio(
+                    table, state, max_length, node_budget, representatives
+                )
+            except SearchBudgetExceeded:
+                exhausted.add(state)
+                continue
+            if found is not None:
+                sequences[state] = found
+        sp.set(found=len(sequences), budget_exhausted=len(exhausted))
+    registry = current_registry()
+    if registry is not None:
+        registry.counter("uio.search.states").add(table.n_states)
+        registry.counter("uio.search.found").add(len(sequences))
+        registry.counter("uio.search.budget_exhausted").add(len(exhausted))
     return UioTable(table.name, max_length, sequences, frozenset(exhausted))

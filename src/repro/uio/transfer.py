@@ -14,6 +14,8 @@ from typing import Callable, Iterable
 
 from repro.errors import StateTableError
 from repro.fsm.state_table import StateTable
+from repro.obs.metrics import current_registry
+from repro.obs.trace import span as trace_span
 
 __all__ = ["find_transfer", "transfer_map"]
 
@@ -45,7 +47,11 @@ def find_transfer(
         return ()
     visited = {source}
     frontier: deque[tuple[int, tuple[int, ...]]] = deque([(source, ())])
+    peak_frontier = 1
+    found: tuple[int, ...] | None = None
     while frontier:
+        if len(frontier) > peak_frontier:
+            peak_frontier = len(frontier)
         state, path = frontier.popleft()
         if len(path) == max_length:
             continue
@@ -56,10 +62,21 @@ def find_transfer(
                 continue
             step_path = path + (combo,)
             if is_target(nxt):
-                return step_path
+                found = step_path
+                frontier.clear()
+                break
             visited.add(nxt)
             frontier.append((nxt, step_path))
-    return None
+    registry = current_registry()
+    if registry is not None:
+        registry.counter("transfer.bfs.searches").add(1)
+        registry.counter("transfer.bfs.states_visited").add(len(visited))
+        registry.histogram("transfer.bfs.frontier_peak").observe(peak_frontier)
+        if found is not None:
+            registry.histogram("transfer.bfs.length").observe(len(found))
+        else:
+            registry.counter("transfer.bfs.unreachable").add(1)
+    return found
 
 
 def transfer_map(
@@ -77,6 +94,24 @@ def transfer_map(
     for state in target_set:
         if not 0 <= state < table.n_states:
             raise StateTableError(f"target state {state} out of range")
+    with trace_span(
+        "transfer.map", machine=table.name, targets=len(target_set),
+        max_length=max_length,
+    ) as sp:
+        result = _transfer_map(table, target_set, max_length)
+        sp.set(reached=len(result))
+    registry = current_registry()
+    if registry is not None:
+        registry.counter("transfer.map.searches").add(1)
+        registry.counter("transfer.map.states_reached").add(len(result))
+    return result
+
+
+def _transfer_map(
+    table: StateTable,
+    target_set: frozenset[int],
+    max_length: int,
+) -> dict[int, tuple[int, ...]]:
     # Backward BFS over the reversed transition relation.  To reconstruct
     # forward paths with the input-order tie-break, store for each state the
     # (input, successor) step of one shortest path.
