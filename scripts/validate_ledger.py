@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Validate a run-ledger file written by the ``repro-fsatpg`` CLI.
+
+Usage:  python scripts/validate_ledger.py [LEDGER_DIR ...]
+
+With no arguments the active ledger directory is checked
+(``$REPRO_LEDGER_DIR`` or ``~/.local/state/repro-fsatpg/ledger``).  Each
+``ledger.jsonl`` line is parsed and schema-checked with
+:func:`repro.obs.ledger.validate_record`; corrupt lines and schema
+violations are reported one per line and make the script exit non-zero —
+used by the CI regress-smoke job.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without `pip install -e .`
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.obs.ledger import LEDGER_FILENAME, ledger_dir, validate_record
+
+
+def check_directory(directory: Path) -> tuple[int, int]:
+    """Validate one ledger directory; returns (records, problems)."""
+    path = directory / LEDGER_FILENAME
+    if not path.exists():
+        print(f"{path}: no ledger file", file=sys.stderr)
+        return 0, 1
+    import json
+
+    records = 0
+    problems = 0
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            print(f"{path}:{number}: corrupt JSON: {exc}", file=sys.stderr)
+            problems += 1
+            continue
+        records += 1
+        for problem in validate_record(record):
+            print(f"{path}:{number}: {problem}", file=sys.stderr)
+            problems += 1
+    return records, problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = argv if argv is not None else sys.argv[1:]
+    if arguments:
+        directories = [Path(argument) for argument in arguments]
+    else:
+        active = ledger_dir()
+        if active is None:
+            print("ledger is disabled (REPRO_LEDGER_DIR is empty)",
+                  file=sys.stderr)
+            return 2
+        directories = [active]
+    status = 0
+    for directory in directories:
+        records, problems = check_directory(directory)
+        if problems:
+            status = 1
+        else:
+            print(f"{directory / LEDGER_FILENAME}: OK ({records} record(s))")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,17 @@ Subcommands
                  Perfetto)
 ``stats``      — same run, but print a profile (top spans by self time,
                  counter/histogram tables) instead of a trace file
+``history``    — trend table of run-ledger records for one command
+``report``     — self-contained HTML dashboard of the run ledger
+``regress``    — rerun a BENCH baseline's workload and fail on stage-time
+                 or test-quality regressions
+``explain``    — decision provenance: why each transition was chained into
+                 a longer test or terminated with a scan-out
+
+Table-regeneration commands, ``all``, ``generate``, ``claims``, ``fuzz``,
+and ``bench`` append one record per invocation to the run ledger (JSONL
+under ``~/.local/state/repro-fsatpg/ledger`` by default; see
+``REPRO_LEDGER_DIR``, ``--ledger-dir``, and ``--no-ledger``).
 
 Table-regeneration commands accept ``--jobs N`` to fan the per-circuit
 pipeline across worker processes and ``--cache-dir PATH`` to reuse
@@ -99,6 +110,14 @@ def _cmd_info(args: argparse.Namespace) -> int:
 def _cmd_generate(args: argparse.Namespace) -> int:
     table = load_circuit(args.circuit)
     result = generate_tests(table, _config_from(args))
+    args._ledger_circuits = [args.circuit]
+    args._ledger_results = {
+        args.circuit: {
+            "tests": result.n_tests,
+            "test_length": result.total_length,
+            "pct_length_one": round(result.pct_length_one, 4),
+        }
+    }
     if args.verify:
         report = verify_test_set(table, result.test_set)
         status = "complete" if report.is_complete else "INCOMPLETE"
@@ -243,17 +262,30 @@ def _cmd_claims(args: argparse.Namespace) -> int:
         else None
     if circuits is not None:
         _warm(args, circuits, _options_from(args))
+        args._ledger_circuits = list(circuits)
     results = verify_claims(circuits, _options_from(args))
     print(render_claims(results))
-    return 0 if all(result.passed for result in results) else 1
+    passed = sum(1 for result in results if result.passed)
+    args._ledger_results = {
+        "claims": {"passed": passed, "failed": len(results) - passed}
+    }
+    return 0 if passed == len(results) else 1
 
 
 def _warm(args: argparse.Namespace, circuits: tuple[str, ...],
-          options: StudyOptions) -> None:
-    """Fan the per-circuit pipeline across processes before rendering."""
+          options: StudyOptions, scope: str = "full"):
+    """Precompute the per-circuit studies before rendering.
+
+    Always runs — serially or across ``--jobs`` workers — so every table
+    command takes the same pipeline path regardless of job count and its
+    ledger record is jobs-invariant by construction.  ``scope="functional"``
+    stops after test generation for tables that never read gate-level
+    artifacts.  Returns the per-circuit ``StudyArtifacts`` mapping.
+    """
     jobs = getattr(args, "jobs", 1) or 1
-    if jobs > 1 and circuits:
-        experiments.warm_studies(circuits, options, jobs=jobs)
+    if not circuits:
+        return {}
+    return experiments.warm_studies(circuits, options, jobs=jobs, scope=scope)
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -266,6 +298,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         argv += ["--cache-dir", args.cache_dir]
     if args.quick:
         argv.append("--quick")
+    # Forward the global verbosity flags: bench re-resolves them itself.
+    if args.quiet_global:
+        argv.append("-q")
+    argv += ["-v"] * args.verbose_global
     return bench_main(argv)
 
 
@@ -348,11 +384,24 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
         print(report.render(), end="")
+    args._ledger_semantics = {
+        "cases": args.cases,
+        "seed": args.seed,
+        "oracles": sorted(args.oracle or ()),
+    }
+    args._ledger_results = {
+        "fuzz": {
+            "executed_cases": report.executed_cases,
+            "replayed_entries": report.replayed_entries,
+            "failures": len(report.failures),
+        }
+    }
     return 0 if report.ok else 1
 
 
 def _trace_targets(args: argparse.Namespace) -> tuple[int | None, tuple[str, ...]]:
-    """Resolve a ``trace``/``stats`` target into (table number, circuits)."""
+    """Resolve a ``trace``/``stats``/``explain`` target into
+    (table number, circuits)."""
     target = args.target
     if target in circuit_names():
         return None, (target,)
@@ -361,7 +410,7 @@ def _trace_targets(args: argparse.Namespace) -> tuple[int | None, tuple[str, ...
             name.strip() for name in args.circuit.split(",") if name.strip()
         )
         return int(target[5:]), circuits or ("lion",)
-    print(f"error: unknown trace target {target!r} "
+    print(f"error: unknown target {target!r} "
           "(expected table2..table9 or a circuit name)", file=sys.stderr)
     raise SystemExit(2)
 
@@ -415,31 +464,68 @@ def _write_metrics(path: str, registry) -> None:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.obs.trace import render_span_tree
+    import json as _json
+
+    from repro.obs.trace import render_span_tree, span_tree
 
     session, table_text = _run_observed(args)
     events = session.tracer.events
-    if table_text:
-        print(table_text)
-        print()
-    print(render_span_tree(events))
     _write_chrome_trace(args.trace_out, events)
-    print(f"wrote {len(events)} span(s) to {args.trace_out} "
-          "(load in chrome://tracing or https://ui.perfetto.dev)")
+    if args.format == "json":
+        print(_json.dumps(
+            {
+                "target": args.target,
+                "spans": [event.to_dict() for event in events],
+                "tree": span_tree(events),
+                "metrics": session.registry.snapshot(),
+                "trace_out": args.trace_out,
+            },
+            indent=2,
+        ))
+    else:
+        if table_text:
+            print(table_text)
+            print()
+        print(render_span_tree(events))
+        print(f"wrote {len(events)} span(s) to {args.trace_out} "
+              "(load in chrome://tracing or https://ui.perfetto.dev)")
     if args.metrics_out:
         _write_metrics(args.metrics_out, session.registry)
-        print(f"wrote metrics snapshot to {args.metrics_out}")
+        if args.format != "json":
+            print(f"wrote metrics snapshot to {args.metrics_out}")
     return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    from repro.obs.report import render_stats
+    import json as _json
+
+    from repro.obs.report import aggregate_spans, render_stats
 
     session, table_text = _run_observed(args)
-    if table_text:
-        print(table_text)
-        print()
-    print(render_stats(session.tracer.events, session.registry, top=args.top))
+    if args.format == "json":
+        print(_json.dumps(
+            {
+                "target": args.target,
+                "spans": [
+                    {
+                        "name": stat.name,
+                        "calls": stat.calls,
+                        "total_s": stat.total_s,
+                        "self_s": stat.self_s,
+                        "mean_ms": stat.mean_ms,
+                    }
+                    for stat in aggregate_spans(session.tracer.events)
+                ],
+                "metrics": session.registry.snapshot(),
+            },
+            indent=2,
+        ))
+    else:
+        if table_text:
+            print(table_text)
+            print()
+        print(render_stats(session.tracer.events, session.registry,
+                           top=args.top))
     if args.trace_out:
         _write_chrome_trace(args.trace_out, session.tracer.events)
     if args.metrics_out:
@@ -447,26 +533,158 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_history(args: argparse.Namespace) -> int:
+    from repro.obs.history import render_history
+    from repro.obs.ledger import read_records
+
+    print(render_history(read_records(), args.target, limit=args.limit))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.history import render_html
+    from repro.obs.ledger import read_records
+
+    records = read_records()
+    text = render_html(records, title=args.title)
+    if args.out == "-":
+        print(text)
+    else:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {len(records)} ledger record(s) to {args.out}")
+    return 0
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    from repro.obs.regress import run_regress
+
+    circuits = tuple(
+        name.strip() for name in args.circuits.split(",") if name.strip()
+    )
+    report, code = run_regress(
+        args.baseline,
+        circuits=circuits or None,
+        jobs=max(1, args.jobs),
+        threshold_pct=args.threshold,
+        min_seconds=args.min_seconds,
+    )
+    if report is not None:
+        print(report.render())
+    return code
+
+
+def _state_labels(machine: str) -> tuple[str, ...]:
+    """Symbolic state names for ``explain`` output (falls back to ``s<N>``)."""
+    try:
+        from repro.benchmarks import load_kiss_machine
+
+        return tuple(load_kiss_machine(machine).state_names())
+    except Exception:
+        return ()
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro import obs
+    from repro.obs.provenance import decision_summary
+
+    _number, circuits = _trace_targets(args)
+    transition: tuple[int, int] | None = None
+    if args.transition:
+        parts = args.transition.split(",")
+        try:
+            state_text, combo_text = parts
+            transition = (int(state_text), int(combo_text))
+        except ValueError:
+            print("error: --transition wants 'state,input' "
+                  f"(got {args.transition!r})", file=sys.stderr)
+            return 2
+    options = _options_from(args)
+    # Decisions are made during test generation, so the functional scope is
+    # always enough — no synthesis or fault simulation runs here.
+    with obs.observing() as session:
+        experiments.warm_studies(circuits, options, jobs=1, scope="functional")
+    selected = [
+        event
+        for event in session.provenance.decisions()
+        if transition is None
+        or (event.state, event.combo) == transition
+    ]
+    if args.format == "json":
+        print(_json.dumps([event.to_dict() for event in selected], indent=2))
+        return 0 if selected else 1
+    if not selected:
+        where = f" for transition {args.transition}" if transition else ""
+        print(f"no decisions recorded{where} (circuits: {', '.join(circuits)})")
+        return 1
+    by_machine: dict[str, list] = {}
+    for event in selected:
+        by_machine.setdefault(event.machine, []).append(event)
+    for machine in sorted(by_machine):
+        events = by_machine[machine]
+        labels = _state_labels(machine)
+
+        def label(state: object) -> str:
+            if isinstance(state, int) and 0 <= state < len(labels):
+                return labels[state]
+            return f"s{state}"
+
+        print(f"{machine}: {len(events)} transition decision(s)")
+        for event in events:
+            detail = dict(event.detail)
+            next_state = detail.pop("next_state", "?")
+            test_index = detail.pop("test_index", "?")
+            step = detail.pop("step", "?")
+            extra = ", ".join(
+                f"{key}={value}" for key, value in sorted(detail.items())
+            )
+            print(f"  {label(event.state)} --in{event.combo}--> "
+                  f"{label(next_state)}: {event.outcome} [{event.reason}] "
+                  f"(test {test_index}, step {step}"
+                  + (f", {extra}" if extra else "") + ")")
+    if transition is None:
+        summary = decision_summary(selected)
+        decisions = ", ".join(
+            f"{name}={count}" for name, count in summary["decisions"].items()
+        )
+        reasons = ", ".join(
+            f"{name}={count}" for name, count in summary["reasons"].items()
+        )
+        print(f"summary: {decisions} ({reasons})")
+    return 0
+
+
 def _table_command(number: int):
     def run(args: argparse.Namespace) -> int:
         options = _options_from(args)
+        artifacts: dict = {}
         if number in (2, 3):
+            circuits: tuple[str, ...] = (args.circuit,)
+            # table2 reads only the UIO table; table3 fault-simulates.
+            scope = "functional" if number == 2 else "full"
+            artifacts = _warm(args, circuits, options, scope)
             function = getattr(experiments, f"table{number}")
             rows = function(args.circuit, options)
-        elif number == 8:
-            rows = experiments.table8(
-                _circuit_list(args) if args.circuits else None, options
-            )
-        elif number == 9:
-            rows = experiments.table9(
-                _circuit_list(args) if args.circuits else None, options
-            )
-        else:
+        elif number in (8, 9):
+            # Per-row option sweeps: the base-option studies would never be
+            # read, so these render from their own lazy (serial) pipelines.
+            circuits = _circuit_list(args) if args.circuits else ()
             function = getattr(experiments, f"table{number}")
+            rows = function(circuits or None, options)
+        else:
             circuits = _circuit_list(args)
-            _warm(args, circuits, options)
+            # Tables 4/5 are purely functional; 6/7 need the gate level.
+            scope = "functional" if number in (4, 5) else "full"
+            artifacts = _warm(args, circuits, options, scope)
+            function = getattr(experiments, f"table{number}")
             rows = function(circuits, options)
         print(render(number, rows, csv=getattr(args, "csv", False)))
+        args._ledger_circuits = list(circuits)
+        args._ledger_results = {
+            name: art.summary() for name, art in artifacts.items()
+        }
         return 0
 
     return run
@@ -475,7 +693,11 @@ def _table_command(number: int):
 def _cmd_all(args: argparse.Namespace) -> int:
     options = _options_from(args)
     circuits = _circuit_list(args)
-    _warm(args, circuits, options)
+    artifacts = _warm(args, circuits, options)
+    args._ledger_circuits = list(circuits)
+    args._ledger_results = {
+        name: art.summary() for name, art in artifacts.items()
+    }
     print(render(2, experiments.table2("lion", options)))
     print()
     print(render(3, experiments.table3("lion", options)))
@@ -505,6 +727,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("-q", "--quiet", action="store_true",
                         dest="quiet_global",
                         help="errors only on stderr")
+    parser.add_argument("--no-ledger", action="store_true",
+                        help="do not append this run to the run ledger")
+    parser.add_argument("--ledger-dir", default=None, metavar="PATH",
+                        help="run-ledger directory (default: $REPRO_LEDGER_DIR "
+                        "or ~/.local/state/repro-fsatpg/ledger)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     info = sub.add_parser("info", help="show one circuit's parameters")
@@ -709,6 +936,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--bridging-limit", type=int, default=500)
         p.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="also write a JSON metrics snapshot")
+        p.add_argument("--format", choices=("human", "json"), default="human",
+                       help="json mirrors the rendered output "
+                       "machine-parsably")
         return p
 
     trace = add_trace_like(
@@ -730,6 +960,71 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--top", type=int, default=15,
                        help="span rows to show (default: 15)")
     stats.set_defaults(func=_cmd_stats, obs_managed=True)
+
+    history = sub.add_parser(
+        "history",
+        help="trend table of run-ledger records for one command",
+    )
+    history.add_argument("target",
+                         help="ledgered command name (table5, bench, ...)")
+    history.add_argument("--limit", type=int, default=20,
+                         help="most recent runs to show (default: 20)")
+    history.set_defaults(func=_cmd_history)
+
+    report = sub.add_parser(
+        "report",
+        help="self-contained HTML dashboard of the run ledger "
+        "(inline SVG sparklines, no JavaScript)",
+    )
+    report.add_argument("--out", default="report.html", metavar="PATH",
+                        help="output path ('-' prints to stdout; "
+                        "default: report.html)")
+    report.add_argument("--title", default="repro-fsatpg run ledger",
+                        help="page title")
+    report.set_defaults(func=_cmd_report)
+
+    regress = sub.add_parser(
+        "regress",
+        help="rerun a BENCH baseline's workload and exit non-zero on "
+        "stage-time or test-quality regressions",
+    )
+    regress.add_argument("--baseline", default="BENCH_perf.json",
+                         metavar="PATH",
+                         help="BENCH_perf.json to compare against")
+    regress.add_argument("--circuits", default="",
+                         help="override the baseline's circuit list")
+    regress.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for the rerun")
+    regress.add_argument("--threshold", type=float, default=25.0,
+                         metavar="PCT",
+                         help="allowed stage-time growth in percent "
+                         "(default: 25)")
+    regress.add_argument("--min-seconds", type=float, default=0.1,
+                         metavar="S",
+                         help="noise floor: stages under S seconds in both "
+                         "runs are never flagged (default: 0.1)")
+    regress.set_defaults(func=_cmd_regress)
+
+    explain = sub.add_parser(
+        "explain",
+        help="decision provenance: why each transition was chained or "
+        "scan-terminated",
+    )
+    explain.add_argument("target",
+                         help="what to explain: table2..table9 or a "
+                         "circuit name")
+    explain.add_argument("--circuit", default="", metavar="NAMES",
+                         help="comma-separated circuits for a tableN target "
+                         "(default: lion)")
+    explain.add_argument("--transition", default=None, metavar="S,I",
+                         help="only the decision for state S under input "
+                         "combination I")
+    explain.add_argument("--format", choices=("human", "json"),
+                         default="human")
+    explain.add_argument("--uio-length", type=int, default=None)
+    explain.add_argument("--transfer-length", type=int, default=1)
+    explain.add_argument("--scan-ratio", type=int, default=1)
+    explain.set_defaults(func=_cmd_explain)
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the on-disk artifact cache"
@@ -753,22 +1048,106 @@ def _normalize(args: argparse.Namespace) -> None:
         args.bridging_limit = None
 
 
-def _run_command(args: argparse.Namespace) -> int:
-    """Dispatch, optionally under an obs session for --trace-out/--metrics-out.
+#: Commands that append a run-ledger record.  ``bench`` ledgers itself
+#: (wrapping it here would skew the overhead figure it measures); ``trace``,
+#: ``stats``, and ``explain`` are diagnostic queries, not runs worth
+#: trending; the cache and ledger subcommands are bookkeeping.
+_LEDGER_COMMANDS = frozenset(
+    {f"table{number}" for number in range(2, 10)}
+    | {"all", "generate", "claims", "fuzz"}
+)
+
+#: Span names that are pipeline stages (see ``repro.perf.artifacts``).
+_STAGE_SPAN_NAMES = frozenset(
+    {"uio", "synthesis", "generation", "detectability", "fault-sim"}
+)
+
+
+def _stage_seconds_from(events) -> dict[str, float]:
+    """Total seconds per pipeline stage, summed over the session's spans."""
+    totals: dict[str, float] = {}
+    for event in events:
+        if event.name in _STAGE_SPAN_NAMES:
+            totals[event.name] = (
+                totals.get(event.name, 0.0) + event.duration_ns / 1e9
+            )
+    return totals
+
+
+def _semantic_args(args: argparse.Namespace) -> dict:
+    """The result-determining arguments of a run (never scheduling knobs)."""
+    semantics: dict = dict(getattr(args, "_ledger_semantics", {}))
+    for key in ("uio_length", "transfer_length", "scan_ratio",
+                "max_fanin", "bridging_limit"):
+        if hasattr(args, key):
+            semantics[key] = getattr(args, key)
+    circuits = getattr(args, "_ledger_circuits", None)
+    if circuits:
+        semantics["circuits"] = list(circuits)
+    elif getattr(args, "circuit", None):
+        semantics["circuits"] = [args.circuit]
+    return semantics
+
+
+def _append_ledger(args: argparse.Namespace, argv: Sequence[str],
+                   session, exit_code: int, wall_s: float) -> None:
+    from repro.obs.ledger import append_record, build_record
+    from repro.obs.provenance import decision_summary
+    from repro.perf.cache import active_cache
+
+    semantics = _semantic_args(args)
+    cache = active_cache()
+    record = build_record(
+        args.command,
+        semantic_args=semantics,
+        argv=argv,
+        circuits=getattr(args, "_ledger_circuits", None)
+        or semantics.get("circuits", []),
+        jobs=getattr(args, "jobs", 1) or 1,
+        exit_code=exit_code,
+        wall_s=wall_s,
+        stage_seconds=_stage_seconds_from(session.tracer.events),
+        metrics=session.registry.snapshot(),
+        results=getattr(args, "_ledger_results", {}),
+        provenance=(
+            decision_summary(session.provenance.events)
+            if len(session.provenance)
+            else None
+        ),
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0,
+    )
+    append_record(record)
+
+
+def _run_command(args: argparse.Namespace, argv: Sequence[str]) -> int:
+    """Dispatch, optionally under an obs session.
 
     The ``trace``/``stats`` commands manage their own session
-    (``obs_managed``); every other command gets observability wrapped around
-    it only when an output path asks for it, so the default path stays
+    (``obs_managed``).  Every other command runs under a session when
+    ``--trace-out``/``--metrics-out`` asks for an export or when the
+    command is ledgered — the ledger record embeds the session's stage
+    spans, curated metrics, and provenance summary.  With the ledger
+    disabled and no export requested, the default path stays
     collector-free.
     """
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
-    if getattr(args, "obs_managed", False) or not (trace_out or metrics_out):
+    if getattr(args, "obs_managed", False):
         return args.func(args)
+    from repro.obs.ledger import ledger_enabled
+
+    wants_ledger = args.command in _LEDGER_COMMANDS and ledger_enabled()
+    if not (trace_out or metrics_out or wants_ledger):
+        return args.func(args)
+    import time as _time
+
     from repro import obs
 
+    started = _time.perf_counter()
     with obs.observing() as session:
         code = args.func(args)
+    wall_s = _time.perf_counter() - started
     if trace_out:
         _write_chrome_trace(trace_out, session.tracer.events)
         print(f"wrote {len(session.tracer.events)} span(s) to {trace_out}",
@@ -776,16 +1155,28 @@ def _run_command(args: argparse.Namespace) -> int:
     if metrics_out:
         _write_metrics(metrics_out, session.registry)
         print(f"wrote metrics snapshot to {metrics_out}", file=sys.stderr)
+    if wants_ledger:
+        _append_ledger(args, argv, session, code, wall_s)
     return code
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    import os
+
+    from repro.obs.ledger import LEDGER_ENV
     from repro.obs.log import set_verbosity, verbosity_from_flags
 
     parser = build_parser()
-    args = parser.parse_args(argv)
+    arglist = list(argv) if argv is not None else sys.argv[1:]
+    args = parser.parse_args(arglist)
     _normalize(args)
     set_verbosity(verbosity_from_flags(args.verbose_global, args.quiet_global))
+    # The ledger flags work through the environment variable so worker
+    # processes and in-process helpers all see the same setting.
+    if args.no_ledger:
+        os.environ[LEDGER_ENV] = ""
+    elif args.ledger_dir:
+        os.environ[LEDGER_ENV] = args.ledger_dir
     try:
         # `bench` and `cache` manage the cache themselves; everything else
         # opts in through --cache-dir (artifacts are then reused across
@@ -798,8 +1189,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             from repro.perf.cache import cache_enabled
 
             with cache_enabled(_cache_root(args)):
-                return _run_command(args)
-        return _run_command(args)
+                return _run_command(args, arglist)
+        return _run_command(args, arglist)
     except BrokenPipeError:  # output piped into e.g. `head`: not an error
         return 0
 

@@ -35,6 +35,7 @@ from repro.core.testset import ScanTest, Segment, SegmentKind, TestSet
 from repro.errors import GenerationError
 from repro.fsm.state_table import StateTable
 from repro.obs.metrics import current_registry
+from repro.obs.provenance import current_provenance
 from repro.obs.trace import complete_event, tracing_active
 from repro.obs.trace import span as trace_span
 from repro.uio.partial import PartialUioSet, compute_partial_uio_set
@@ -127,6 +128,10 @@ class _Generator:
         self.n_transfer_steps = 0
         self.transfer_ns = 0
         self._time_transfers = tracing_active()
+        # Decision provenance: one event per exercised transition saying why
+        # it was chained vs scan-terminated.  ``None`` (the default) keeps
+        # the hot path to a single attribute check per decision.
+        self.prov = current_provenance()
 
     # ------------------------------------------------------------ bookkeeping
 
@@ -200,6 +205,17 @@ class _Generator:
                 self.incidental.append((state, combo))
             state = int(self.table.next_state[state, combo])
 
+    def _decision(
+        self, state: int, combo: int, outcome: str, reason: str, **detail: object
+    ) -> None:
+        """Record why transition ``(state, combo)`` was chained/scan-terminated."""
+        if self.prov is not None:
+            self.prov.decision(
+                self.table.name, state, combo, outcome, reason,
+                next_state=int(self.table.next_state[state, combo]),
+                **detail,
+            )
+
     # --------------------------------------------------------- test building
 
     def can_start(self, state: int, combo: int) -> bool:
@@ -217,6 +233,8 @@ class _Generator:
         """Grow one test starting with transition ``(start_state, start_combo)``."""
         segments: list[Segment] = []
         state, combo = start_state, start_combo
+        test_index = len(self.tests)
+        step = 0
         while True:
             segments.append(Segment(SegmentKind.TRANSITION, state, (combo,)))
             next_state = int(self.table.next_state[state, combo])
@@ -229,6 +247,12 @@ class _Generator:
                 if follow is None:
                     transfer = self.find_transfer_step(landing)
                 if follow is None and transfer is None:
+                    if self.prov is not None:
+                        self._decision(
+                            state, combo, "scan_out", "uio-dead-end",
+                            uio_length=uio_seq.length,
+                            test_index=test_index, step=step,
+                        )
                     return self._finish(start_state, segments, next_state)
                 if uio_seq.inputs:
                     segments.append(Segment(SegmentKind.UIO, next_state, uio_seq.inputs))
@@ -245,16 +269,41 @@ class _Generator:
                     raise GenerationError(
                         "transfer destination lost its untested transitions"
                     )  # pragma: no cover
+                if self.prov is not None:
+                    self._decision(
+                        state, combo, "chained", "uio",
+                        uio_length=uio_seq.length,
+                        transfer_length=len(transfer[0]) if transfer is not None else 0,
+                        test_index=test_index, step=step,
+                    )
                 state, combo = landing, follow
                 self.n_chained += 1
+                step += 1
                 continue
             if self.config.use_partial_uio:
-                step = self._try_partial_step(state, combo, next_state, segments)
-                if step is not None:
-                    state, combo = step
+                next_step = self._try_partial_step(state, combo, next_state, segments)
+                if next_step is not None:
+                    if self.prov is not None:
+                        self._decision(
+                            state, combo, "chained", "partial-uio",
+                            test_index=test_index, step=step,
+                        )
+                    state, combo = next_step
                     self.n_chained += 1
+                    step += 1
                     continue
             self.mark_tested(state, combo)  # verified by the final scan-out
+            if self.config.use_partial_uio and self.partial_set(next_state) is not None:
+                reason = "partial-uio-dead-end"
+            elif next_state in self.uio.budget_exhausted:
+                reason = "uio-budget-exhausted"
+            else:
+                reason = "no-uio"
+            if self.prov is not None:
+                self._decision(
+                    state, combo, "scan_out", reason,
+                    test_index=test_index, step=step,
+                )
             return self._finish(start_state, segments, next_state)
 
     def _try_partial_step(

@@ -32,6 +32,7 @@ from repro.gatelevel.stuck_at import StuckAtFault, collapse_stuck_at
 from repro.gatelevel.synthesis import SynthesisOptions
 from repro.harness.runtime import StageTimings
 from repro.harness.tables import format_csv, format_table
+from repro.obs.log import get_logger
 from repro.obs.trace import span as trace_span
 from repro.uio.search import UioTable, compute_uio_table
 
@@ -222,18 +223,26 @@ def warm_studies(
     *,
     jobs: int = 1,
     timings: StageTimings | None = None,
+    scope: str = "full",
 ):
-    """Precompute every study artifact with the parallel engine.
+    """Precompute study artifacts with the parallel engine.
 
     Runs :func:`repro.perf.engine.compute_studies` across ``jobs`` worker
     processes and installs the results into the module-level study cache, so
     subsequent ``tableN`` calls are pure lookups.  Results are bit-identical
-    to the serial path for any ``jobs``.  Returns the per-circuit
+    to the serial path for any ``jobs``.  ``scope="functional"`` stops after
+    test generation — enough for tables 4/5.  Returns the per-circuit
     :class:`~repro.perf.engine.StudyArtifacts` mapping.
     """
     from repro.perf.engine import compute_studies
 
-    artifacts = compute_studies(circuits, options, jobs=jobs, timings=timings)
+    log = get_logger("harness")
+    log.info(
+        "warming studies", circuits=len(tuple(circuits)), jobs=jobs, scope=scope
+    )
+    artifacts = compute_studies(
+        circuits, options, jobs=jobs, timings=timings, scope=scope
+    )
     for name, computed in artifacts.items():
         computed.install(get_study(name, options))
     return artifacts

@@ -53,6 +53,14 @@ from repro.obs.metrics import (
     metrics_active,
     set_registry,
 )
+from repro.obs.provenance import (
+    ProvenanceEvent,
+    ProvenanceLog,
+    current_provenance,
+    decision_summary,
+    provenance_active,
+    set_provenance,
+)
 from repro.obs.report import aggregate_spans, render_stats
 from repro.obs.trace import (
     SpanRecord,
@@ -80,14 +88,18 @@ __all__ = [
     "ObsLogger",
     "ObsSnapshot",
     "Observation",
+    "ProvenanceEvent",
+    "ProvenanceLog",
     "SpanRecord",
     "Tracer",
     "absorb_snapshot",
     "aggregate_spans",
     "complete_event",
     "counter_add",
+    "current_provenance",
     "current_registry",
     "current_tracer",
+    "decision_summary",
     "disable",
     "enable",
     "enable_in_worker",
@@ -99,8 +111,10 @@ __all__ = [
     "is_active",
     "metrics_active",
     "observing",
+    "provenance_active",
     "render_span_tree",
     "render_stats",
+    "set_provenance",
     "set_registry",
     "set_tracer",
     "set_verbosity",
@@ -118,40 +132,45 @@ __all__ = [
 
 @dataclass
 class Observation:
-    """A live collection session: the installed tracer + registry pair."""
+    """A live collection session: tracer + registry + provenance log."""
 
     tracer: Tracer
     registry: MetricsRegistry
+    provenance: ProvenanceLog
 
 
 @dataclass
 class ObsSnapshot:
-    """Picklable spans + metrics drained from one process (or task)."""
+    """Picklable spans + metrics + provenance drained from one process."""
 
     spans: list[SpanRecord] = field(default_factory=list)
     metrics: dict[str, Any] = field(default_factory=dict)
+    provenance: list[ProvenanceEvent] = field(default_factory=list)
 
     def __bool__(self) -> bool:
-        return bool(self.spans) or bool(self.metrics)
+        return bool(self.spans) or bool(self.metrics) or bool(self.provenance)
 
 
 def enable() -> Observation:
-    """Install a fresh tracer + metrics registry process-wide."""
+    """Install fresh collectors (tracer, registry, provenance) process-wide."""
     tracer = Tracer()
     registry = MetricsRegistry()
+    provenance = ProvenanceLog()
     set_tracer(tracer)
     set_registry(registry)
-    return Observation(tracer, registry)
+    set_provenance(provenance)
+    return Observation(tracer, registry, provenance)
 
 
 def disable() -> None:
-    """Remove the process-wide tracer and registry (collection stops)."""
+    """Remove the process-wide collectors (collection stops)."""
     set_tracer(None)
     set_registry(None)
+    set_provenance(None)
 
 
 def is_active() -> bool:
-    return tracing_active() or metrics_active()
+    return tracing_active() or metrics_active() or provenance_active()
 
 
 @contextmanager
@@ -159,12 +178,14 @@ def observing() -> Iterator[Observation]:
     """Enable span + metric collection for a block; restores prior state."""
     previous_tracer = current_tracer()
     previous_registry = current_registry()
+    previous_provenance = current_provenance()
     session = enable()
     try:
         yield session
     finally:
         set_tracer(previous_tracer)
         set_registry(previous_registry)
+        set_provenance(previous_provenance)
 
 
 # -------------------------------------------------------- worker aggregation
@@ -200,12 +221,15 @@ def worker_snapshot() -> ObsSnapshot | None:
         return None
     tracer = current_tracer()
     registry = current_registry()
+    provenance = current_provenance()
     snapshot = ObsSnapshot()
     if tracer is not None:
         snapshot.spans = tracer.snapshot(reset=True)
     if registry is not None:
         snapshot.metrics = registry.snapshot()
         set_registry(MetricsRegistry())
+    if provenance is not None:
+        snapshot.provenance = provenance.snapshot(reset=True)
     return snapshot
 
 
@@ -226,3 +250,6 @@ def absorb_snapshot(
     registry = current_registry()
     if registry is not None and snapshot.metrics:
         registry.merge_snapshot(snapshot.metrics)
+    provenance = current_provenance()
+    if provenance is not None and snapshot.provenance:
+        provenance.absorb(snapshot.provenance)

@@ -1,0 +1,206 @@
+"""Ledger queries: trend tables and the zero-dependency HTML dashboard.
+
+``repro-fsatpg history <command>`` renders the ledger's records for one
+command as a fixed-width trend table (newest last, like the log itself);
+``repro-fsatpg report --out report.html`` renders every command's history
+as a self-contained HTML page with inline SVG sparklines — no JavaScript,
+no external assets, safe to archive as a CI artifact.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, Mapping, Sequence
+
+from repro.harness.tables import format_table
+
+__all__ = [
+    "command_records",
+    "history_rows",
+    "render_history",
+    "sparkline",
+    "render_html",
+]
+
+
+def command_records(
+    records: Sequence[Mapping[str, Any]], command: str
+) -> list[Mapping[str, Any]]:
+    """The ledger records for one command, oldest first (ledger order)."""
+    return [r for r in records if r.get("command") == command]
+
+
+def _sum_result_field(record: Mapping[str, Any], key: str) -> int | None:
+    """Sum ``key`` across per-circuit result summaries; ``None`` if absent."""
+    results = record.get("results")
+    if not isinstance(results, dict):
+        return None
+    total = 0
+    seen = False
+    for summary in results.values():
+        if isinstance(summary, dict) and isinstance(summary.get(key), (int, float)):
+            total += int(summary[key])
+            seen = True
+    return total if seen else None
+
+
+def _mean_coverage(record: Mapping[str, Any], model: str = "stuck_at") -> float | None:
+    results = record.get("results")
+    if not isinstance(results, dict):
+        return None
+    values = [
+        summary[model]["coverage"]
+        for summary in results.values()
+        if isinstance(summary, dict)
+        and isinstance(summary.get(model), dict)
+        and isinstance(summary[model].get("coverage"), (int, float))
+    ]
+    if not values:
+        return None
+    return sum(values) / len(values)
+
+
+def history_rows(records: Sequence[Mapping[str, Any]]) -> list[list[str]]:
+    """One row per record: when, sha, jobs, wall, circuits, tests, len, sa.cov."""
+    rows: list[list[str]] = []
+    for record in records:
+        tests = _sum_result_field(record, "tests")
+        length = _sum_result_field(record, "test_length")
+        coverage = _mean_coverage(record)
+        rows.append(
+            [
+                str(record.get("ts", "?")),
+                str(record.get("git_sha", "?"))[:7],
+                str(record.get("jobs", "?")),
+                f"{float(record.get('wall_s', 0.0)):.2f}",
+                str(len(record.get("circuits", []))),
+                "-" if tests is None else str(tests),
+                "-" if length is None else str(length),
+                "-" if coverage is None else f"{100.0 * coverage:.2f}",
+            ]
+        )
+    return rows
+
+
+_HISTORY_HEADERS = (
+    "when", "sha", "jobs", "wall", "circuits", "tests", "len", "sa.cov%",
+)
+
+
+def render_history(
+    records: Sequence[Mapping[str, Any]],
+    command: str,
+    limit: int = 20,
+) -> str:
+    """Fixed-width trend table for one command (most recent ``limit`` runs)."""
+    selected = command_records(records, command)
+    if not selected:
+        return f"no ledger records for {command!r}"
+    shown = selected[-limit:] if limit > 0 else selected
+    title = f"{command} history ({len(shown)} of {len(selected)} runs)"
+    return format_table(_HISTORY_HEADERS, history_rows(shown), title)
+
+
+# ------------------------------------------------------------------ HTML
+
+
+def sparkline(
+    values: Sequence[float],
+    *,
+    width: int = 160,
+    height: int = 32,
+    stroke: str = "#2563eb",
+) -> str:
+    """An inline SVG polyline through ``values`` (empty string for < 2 points)."""
+    if len(values) < 2:
+        return ""
+    low = min(values)
+    high = max(values)
+    spread = (high - low) or 1.0
+    pad = 2.0
+    step = (width - 2 * pad) / (len(values) - 1)
+    points = " ".join(
+        f"{pad + index * step:.1f},"
+        f"{height - pad - (value - low) / spread * (height - 2 * pad):.1f}"
+        for index, value in enumerate(values)
+    )
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" xmlns="http://www.w3.org/2000/svg">'
+        f'<polyline fill="none" stroke="{stroke}" stroke-width="1.5" '
+        f'points="{points}"/></svg>'
+    )
+
+
+_CSS = """
+body { font-family: ui-monospace, SFMono-Regular, Menlo, monospace;
+       margin: 2rem; color: #111; }
+h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin-top: .5rem; }
+th, td { border: 1px solid #ccc; padding: .25rem .6rem;
+         font-size: .85rem; text-align: right; }
+th { background: #f3f4f6; } td.l, th.l { text-align: left; }
+.spark { vertical-align: middle; margin-left: .75rem; }
+.meta { color: #555; font-size: .8rem; }
+"""
+
+
+def _metric_series(
+    records: Sequence[Mapping[str, Any]], extract: Any
+) -> list[float]:
+    series = []
+    for record in records:
+        value = extract(record)
+        if isinstance(value, (int, float)):
+            series.append(float(value))
+    return series
+
+
+def render_html(
+    records: Sequence[Mapping[str, Any]],
+    title: str = "repro-fsatpg run ledger",
+) -> str:
+    """A self-contained dashboard: per-command trend tables + sparklines."""
+    commands = sorted({str(r.get("command", "?")) for r in records})
+    parts = [
+        "<!doctype html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f'<p class="meta">{len(records)} records, '
+        f"{len(commands)} commands</p>",
+    ]
+    for command in commands:
+        selected = command_records(records, command)
+        walls = _metric_series(selected, lambda r: r.get("wall_s"))
+        tests = _metric_series(selected, lambda r: _sum_result_field(r, "tests"))
+        parts.append(
+            f"<h2>{html.escape(command)} "
+            f'<span class="meta">({len(selected)} runs)</span>'
+            f"{sparkline(walls)}"
+            f"{sparkline(tests, stroke='#16a34a')}</h2>"
+        )
+        header_cells = "".join(
+            f'<th class="l">{html.escape(name)}</th>'
+            if name in ("when", "sha")
+            else f"<th>{html.escape(name)}</th>"
+            for name in _HISTORY_HEADERS
+        )
+        body_rows = []
+        for row in history_rows(selected[-30:]):
+            cells = "".join(
+                f'<td class="l">{html.escape(cell)}</td>'
+                if index < 2
+                else f"<td>{html.escape(cell)}</td>"
+                for index, cell in enumerate(row)
+            )
+            body_rows.append(f"<tr>{cells}</tr>")
+        parts.append(
+            f"<table><thead><tr>{header_cells}</tr></thead>"
+            f"<tbody>{''.join(body_rows)}</tbody></table>"
+        )
+    if not records:
+        parts.append("<p>The ledger is empty.</p>")
+    parts.append("</body></html>")
+    return "\n".join(parts)

@@ -21,6 +21,7 @@ __all__ = [
     "DEBUG",
     "INFO",
     "WARNING",
+    "NOTE",
     "ERROR",
     "ObsLogger",
     "get_logger",
@@ -32,9 +33,19 @@ __all__ = [
 DEBUG = 10
 INFO = 20
 WARNING = 30
+#: User-facing progress that should show by default but honor ``--quiet``:
+#: sits above WARNING (visible at the default threshold) and below ERROR
+#: (``-q`` silences it).  Replaces bare ``print`` progress in the harness.
+NOTE = 35
 ERROR = 40
 
-_LEVEL_NAMES = {DEBUG: "debug", INFO: "info ", WARNING: "warn ", ERROR: "error"}
+_LEVEL_NAMES = {
+    DEBUG: "debug",
+    INFO: "info ",
+    WARNING: "warn ",
+    NOTE: "note ",
+    ERROR: "error",
+}
 
 _THRESHOLD = WARNING
 _LOGGERS: dict[str, "ObsLogger"] = {}
@@ -90,6 +101,10 @@ class ObsLogger:
 
     def warning(self, message: str, **fields: Any) -> None:
         self.log(WARNING, message, **fields)
+
+    def note(self, message: str, **fields: Any) -> None:
+        """Default-visible progress line; only ``--quiet`` suppresses it."""
+        self.log(NOTE, message, **fields)
 
     def error(self, message: str, **fields: Any) -> None:
         self.log(ERROR, message, **fields)

@@ -1,0 +1,208 @@
+"""Decision provenance: *why* each transition was chained or scan-terminated.
+
+The chaining generator (:mod:`repro.core.generator`) makes one decision per
+state-transition: continue the test through the next state's UIO (possibly
+followed by a transfer sequence), or end the test and verify the transition
+with the final scan-out.  Conformance-testing practice treats that
+per-transition traceability as a first-class artifact; this module records
+it as a queryable event log.
+
+Like the tracer and the metrics registry, the log is process-local and off
+by default: call sites fetch :func:`current_provenance` once per run and
+record nothing when it returns ``None``.  :func:`repro.obs.observing`
+installs a fresh :class:`ProvenanceLog` alongside the other collectors, and
+worker processes drain theirs into the :class:`~repro.obs.ObsSnapshot` the
+parent absorbs, so ``--jobs N`` runs produce the same events as serial.
+
+Three event kinds share one record type:
+
+``decision``
+    One per state-transition exercised by the generator: ``decision`` is
+    ``"chained"`` or ``"scan_out"``, ``reason`` names why (``uio``,
+    ``partial-uio``, ``uio-dead-end``, ``no-uio``,
+    ``uio-budget-exhausted``), and the schedule position (test index, step
+    within the test) plus UIO/transfer lengths are attached.
+``uio``
+    One per state from :func:`repro.uio.search.compute_uio_table`:
+    ``found`` (with length and final state), ``none`` (no sequence within
+    the bound), or ``budget`` (search budget exhausted — absence unproven).
+``transfer``
+    One per explicit BFS transfer search (``found``/``none``).  The default
+    bound ``T = 1`` is served by a precomputed successor list inside the
+    generator, so those lookups surface through ``decision`` events
+    (``transfer_length=1``) rather than here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+__all__ = [
+    "ProvenanceEvent",
+    "ProvenanceLog",
+    "current_provenance",
+    "set_provenance",
+    "provenance_active",
+    "decision_summary",
+]
+
+
+@dataclass(frozen=True)
+class ProvenanceEvent:
+    """One recorded fact.  Plain data: picklable, JSON-serializable."""
+
+    kind: str  # "decision" | "uio" | "transfer"
+    machine: str
+    state: int
+    #: input combination for ``decision`` events, -1 otherwise
+    combo: int
+    #: "chained"/"scan_out" for decisions; "found"/"none"/"budget" for
+    #: uio/transfer outcomes
+    outcome: str
+    #: why the outcome happened (decision events only; "" otherwise)
+    reason: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "kind": self.kind,
+            "machine": self.machine,
+            "state": self.state,
+            "outcome": self.outcome,
+        }
+        if self.combo >= 0:
+            data["combo"] = self.combo
+        if self.reason:
+            data["reason"] = self.reason
+        if self.detail:
+            data["detail"] = dict(sorted(self.detail.items()))
+        return data
+
+
+class ProvenanceLog:
+    """Append-only in-memory event log for one process.
+
+    Not thread-safe for the same reason the tracer is not: the pipeline is
+    single-threaded per process and every worker gets its own log.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[ProvenanceEvent] = []
+
+    # ------------------------------------------------------------ recording
+
+    def record(self, event: ProvenanceEvent) -> None:
+        self.events.append(event)
+
+    def decision(
+        self,
+        machine: str,
+        state: int,
+        combo: int,
+        outcome: str,
+        reason: str,
+        **detail: Any,
+    ) -> None:
+        """Record one chained-vs-scan-out decision of the generator."""
+        self.events.append(
+            ProvenanceEvent("decision", machine, state, combo, outcome,
+                            reason, detail)
+        )
+
+    def uio_outcome(
+        self, machine: str, state: int, outcome: str, **detail: Any
+    ) -> None:
+        """Record one state's UIO search outcome (found/none/budget)."""
+        self.events.append(
+            ProvenanceEvent("uio", machine, state, -1, outcome, "", detail)
+        )
+
+    def transfer_outcome(
+        self, machine: str, source: int, outcome: str, **detail: Any
+    ) -> None:
+        """Record one explicit transfer BFS outcome (found/none)."""
+        self.events.append(
+            ProvenanceEvent("transfer", machine, source, -1, outcome, "",
+                            detail)
+        )
+
+    # -------------------------------------------------------------- merging
+
+    def snapshot(self, reset: bool = False) -> list[ProvenanceEvent]:
+        """The events recorded so far; ``reset`` drains them."""
+        events = list(self.events)
+        if reset:
+            self.events.clear()
+        return events
+
+    def absorb(self, events: Iterable[ProvenanceEvent]) -> None:
+        """Merge foreign events (typically a worker snapshot)."""
+        self.events.extend(events)
+
+    # ------------------------------------------------------------- querying
+
+    def decisions(
+        self, machine: str | None = None
+    ) -> Iterator[ProvenanceEvent]:
+        """Decision events, optionally restricted to one machine.
+
+        Yielded in ``(state, combo)`` order — the generator's own scan
+        order — so renderings are deterministic even after worker merges.
+        """
+        selected = [
+            event
+            for event in self.events
+            if event.kind == "decision"
+            and (machine is None or event.machine == machine)
+        ]
+        selected.sort(key=lambda e: (e.machine, e.state, e.combo))
+        return iter(selected)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"<ProvenanceLog {len(self.events)} events>"
+
+
+# --------------------------------------------------------------- active log
+
+_PROVENANCE: ProvenanceLog | None = None
+
+
+def current_provenance() -> ProvenanceLog | None:
+    """The process-wide log, or ``None`` when provenance is disabled."""
+    return _PROVENANCE
+
+
+def set_provenance(log: ProvenanceLog | None) -> ProvenanceLog | None:
+    """Install (or remove, with ``None``) the process-wide log."""
+    global _PROVENANCE
+    previous = _PROVENANCE
+    _PROVENANCE = log
+    return previous
+
+
+def provenance_active() -> bool:
+    return _PROVENANCE is not None
+
+
+def decision_summary(events: Iterable[ProvenanceEvent]) -> dict[str, Any]:
+    """Ledger-embeddable summary: decision and reason counts.
+
+    Counts are scheduling-invariant (one decision per transition regardless
+    of worker layout), so the summary is byte-stable across ``--jobs``
+    values for a deterministic workload.
+    """
+    outcomes: dict[str, int] = {}
+    reasons: dict[str, int] = {}
+    for event in events:
+        if event.kind != "decision":
+            continue
+        outcomes[event.outcome] = outcomes.get(event.outcome, 0) + 1
+        reasons[event.reason] = reasons.get(event.reason, 0) + 1
+    return {
+        "decisions": dict(sorted(outcomes.items())),
+        "reasons": dict(sorted(reasons.items())),
+    }

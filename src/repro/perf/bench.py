@@ -32,17 +32,22 @@ from __future__ import annotations
 import argparse
 import json
 import time
+from dataclasses import asdict
 from pathlib import Path
 from typing import Any, Sequence
 
 from repro.harness.runtime import StageTimings, stopwatch
+from repro.obs.log import get_logger, set_verbosity, verbosity_from_flags
 from repro.perf.cache import cache_enabled, default_cache_dir
 from repro.perf.engine import StudyArtifacts, compute_studies
 
 __all__ = ["BENCH_SCHEMA", "default_bench_circuits", "run_bench", "main"]
 
 #: Schema tag stored in BENCH_perf.json; bump when the layout changes.
-BENCH_SCHEMA = "repro-fsatpg-bench/2"
+#: /3 adds the per-circuit ``results`` block (scalar test/coverage
+#: summaries) and the ``options`` block so ``repro-fsatpg regress`` can
+#: reproduce the exact workload the baseline measured.
+BENCH_SCHEMA = "repro-fsatpg-bench/3"
 
 #: Circuits for ``--quick`` (CI smoke): small machines with non-trivial
 #: bridging universes, a few seconds per run.
@@ -105,6 +110,7 @@ def run_bench(
         else default_cache_dir() / "bench"
     )
 
+    bench_started = time.perf_counter()
     serial, serial_record = _run(names, 1, options)
 
     from repro import obs
@@ -113,6 +119,7 @@ def run_bench(
         observed, observed_record = _run(names, 1, options)
     n_spans = len(session.tracer.events)
     n_metrics = len(session.registry)
+    metrics_snapshot = session.registry.snapshot()
 
     with cache_enabled(root) as cache:
         cache.clear()
@@ -125,12 +132,19 @@ def run_bench(
 
     serial_wall = serial_record["wall_s"]
     cold_wall = cold_record["wall_s"]
-    return {
+    results = {name: serial[name].summary() for name in names}
+    options_block = {
+        "config": asdict(options.config),
+        "max_fanin": options.max_fanin,
+        "bridging_pair_limit": options.bridging_pair_limit,
+    }
+    report = {
         "schema": BENCH_SCHEMA,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "circuits": list(names),
         "jobs": jobs,
         "cache_dir": str(root),
+        "options": options_block,
         "runs": {
             "serial_cold": serial_record,
             "parallel_cold": cold_record,
@@ -151,9 +165,30 @@ def run_bench(
             "spans": n_spans,
             "metrics": n_metrics,
         },
+        "results": results,
         "identical": not divergence,
         "divergence": divergence,
     }
+
+    # The bench also ledgers itself, so BENCH files and the run ledger carry
+    # the same per-circuit results and can never silently diverge.
+    from repro.obs import ledger as run_ledger
+
+    record = run_ledger.build_record(
+        "bench",
+        semantic_args={"circuits": list(names), "options": options_block},
+        circuits=names,
+        jobs=jobs,
+        exit_code=0 if not divergence else 1,
+        wall_s=time.perf_counter() - bench_started,
+        stage_seconds=serial_record.get("stage_seconds", {}),
+        metrics=metrics_snapshot,
+        results=results,
+        cache_hits=warm_record.get("cache", {}).get("hits", 0),
+        cache_misses=warm_record.get("cache", {}).get("misses", 0),
+    )
+    run_ledger.append_record(record)
+    return report
 
 
 def _summarize(report: dict[str, Any]) -> str:
@@ -201,7 +236,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="tiny circuit set for CI smoke runs")
     parser.add_argument("-o", "--output", default="BENCH_perf.json",
                         help="report path ('-' prints JSON to stdout)")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="more progress on stderr (-vv for debug)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="errors only (silences the summary)")
     args = parser.parse_args(argv)
+    set_verbosity(verbosity_from_flags(args.verbose, args.quiet))
+    log = get_logger("bench")
 
     circuits = tuple(
         name.strip() for name in args.circuits.split(",") if name.strip()
@@ -215,8 +256,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(text)
     else:
         Path(args.output).write_text(text + "\n")
-        print(f"wrote {args.output}")
-    print(_summarize(report))
+        log.note(f"wrote {args.output}")
+    for line in _summarize(report).splitlines():
+        log.note(line)
     return 0 if report["identical"] else 1
 
 

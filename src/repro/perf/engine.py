@@ -73,22 +73,26 @@ class StudyArtifacts:
 
     :meth:`install` seeds a study's ``cached_property`` slots so subsequent
     table regeneration reuses the engine's results without recomputing.
+
+    ``scope="functional"`` runs stop after test generation: the gate-level
+    fields stay ``None`` and :meth:`install` leaves the corresponding study
+    properties lazy.
     """
 
     name: str
     uio: tuple[UioTable, float]
     generation: GenerationResult
-    scan_circuit: ScanCircuit
-    stuck_at_faults: list[Fault]
-    stuck_at_detectability: tuple[set[Fault], set[Fault]]
-    stuck_at_selection: EffectiveSelection
-    bridging_faults: list[Fault]
-    bridging_detectability: tuple[set[Fault], set[Fault]]
-    bridging_selection: EffectiveSelection
+    scan_circuit: ScanCircuit | None = None
+    stuck_at_faults: list[Fault] | None = None
+    stuck_at_detectability: tuple[set[Fault], set[Fault]] | None = None
+    stuck_at_selection: EffectiveSelection | None = None
+    bridging_faults: list[Fault] | None = None
+    bridging_detectability: tuple[set[Fault], set[Fault]] | None = None
+    bridging_selection: EffectiveSelection | None = None
 
     def install(self, study: "CircuitStudy") -> None:
         """Seed ``study``'s cached properties with these artifacts."""
-        values = {
+        values: dict[str, Any] = {
             "_uio": self.uio,
             "generation": self.generation,
             "scan_circuit": self.scan_circuit,
@@ -101,19 +105,56 @@ class StudyArtifacts:
         }
         # cached_property stores its result under the attribute name in the
         # instance __dict__; pre-populating it is the documented way to seed.
-        study.__dict__.update(values)
+        # Functional-scope artifacts leave the gate-level slots unset so the
+        # study computes them lazily if something does ask.
+        study.__dict__.update(
+            {key: value for key, value in values.items() if value is not None}
+        )
 
     def signature(self) -> dict[str, Any]:
         """Timing-free summary used to compare runs for divergence."""
         uio, _ = self.uio
-        return {
+        signature: dict[str, Any] = {
             "uio_found": uio.n_found,
             "uio_max_len": uio.max_found_length,
             "tests": self.generation.n_tests,
             "test_length": self.generation.total_length,
-            "stuck_at": _selection_signature(self.stuck_at_selection),
-            "bridging": _selection_signature(self.bridging_selection),
         }
+        if self.stuck_at_selection is not None:
+            signature["stuck_at"] = _selection_signature(self.stuck_at_selection)
+        if self.bridging_selection is not None:
+            signature["bridging"] = _selection_signature(self.bridging_selection)
+        return signature
+
+    def summary(self) -> dict[str, Any]:
+        """Compact scalar summary for ledger records and bench results.
+
+        Unlike :meth:`signature` this never enumerates faults or tests —
+        it is the per-circuit block persisted in ``BENCH_perf.json`` and
+        the run ledger, so it must stay small and scheduling-invariant.
+        """
+        uio, _ = self.uio
+        summary: dict[str, Any] = {
+            "uio_found": uio.n_found,
+            "uio_max_len": uio.max_found_length,
+            "tests": self.generation.n_tests,
+            "test_length": self.generation.total_length,
+            "pct_length_one": round(self.generation.pct_length_one, 4),
+        }
+        for model, faults, selection in (
+            ("stuck_at", self.stuck_at_faults, self.stuck_at_selection),
+            ("bridging", self.bridging_faults, self.bridging_selection),
+        ):
+            if faults is None or selection is None:
+                continue
+            detected = len(selection.detected)
+            summary[model] = {
+                "faults": len(faults),
+                "detected": detected,
+                "coverage": round(detected / len(faults), 6) if faults else 1.0,
+                "effective_tests": selection.n_effective,
+            }
+        return summary
 
 
 def _selection_signature(selection: EffectiveSelection) -> dict[str, Any]:
@@ -139,11 +180,11 @@ class _CircuitPrep:
     name: str
     uio: tuple[UioTable, float]
     generation: GenerationResult
-    scan_circuit: ScanCircuit
-    stuck_at_faults: list[Fault]
-    stuck_at_detectability: tuple[set[Fault], set[Fault]]
-    bridging_faults: list[Fault]
-    bridging_detectability: tuple[set[Fault], set[Fault]]
+    scan_circuit: ScanCircuit | None
+    stuck_at_faults: list[Fault] | None
+    stuck_at_detectability: tuple[set[Fault], set[Fault]] | None
+    bridging_faults: list[Fault] | None
+    bridging_detectability: tuple[set[Fault], set[Fault]] | None
     #: tests in the exact order the effective-test selection simulates them
     tests: tuple[ScanTest, ...]
     timings: StageTimings
@@ -151,15 +192,17 @@ class _CircuitPrep:
     obs: ObsSnapshot | None = None
 
 
-def _prepare_circuit(payload: tuple[str, "StudyOptions"]) -> _CircuitPrep:
-    name, options = payload
-    with trace_span("circuit.prepare", circuit=name):
-        prep = _prepare_circuit_stages(name, options)
+def _prepare_circuit(payload: tuple[str, "StudyOptions", str]) -> _CircuitPrep:
+    name, options, scope = payload
+    with trace_span("circuit.prepare", circuit=name, scope=scope):
+        prep = _prepare_circuit_stages(name, options, scope)
     prep.obs = worker_snapshot()
     return prep
 
 
-def _prepare_circuit_stages(name: str, options: "StudyOptions") -> _CircuitPrep:
+def _prepare_circuit_stages(
+    name: str, options: "StudyOptions", scope: str = "full"
+) -> _CircuitPrep:
     timings = StageTimings()
     table = load_circuit(name)
     config = options.config
@@ -169,6 +212,15 @@ def _prepare_circuit_stages(name: str, options: "StudyOptions") -> _CircuitPrep:
     )
     with timings.stage(name, STAGE_GENERATION):
         generation = generate_tests(table, config, uio[0])
+    tests = tuple(generation.test_set.by_decreasing_length())
+    if scope == "functional":
+        # Functional tables (4/5) only need UIO + generation; skipping the
+        # gate-level stages keeps serial and --jobs runs doing identical
+        # work, which is what makes their ledger records jobs-invariant.
+        return _CircuitPrep(
+            name, uio, generation, None, None, None, None, None,
+            tests, timings,
+        )
     scan = cached_scan_circuit(
         load_kiss_machine(name), options.synthesis, table,
         circuit=name, timings=timings,
@@ -194,7 +246,7 @@ def _prepare_circuit_stages(name: str, options: "StudyOptions") -> _CircuitPrep:
         stuck_at_detectability,
         bridging,
         bridging_detectability,
-        tuple(generation.test_set.by_decreasing_length()),
+        tests,
         timings,
     )
 
@@ -336,15 +388,22 @@ def compute_studies(
     *,
     jobs: int = 1,
     timings: StageTimings | None = None,
+    scope: str = "full",
 ) -> dict[str, StudyArtifacts]:
-    """Run the full pipeline for ``circuits`` with ``jobs`` processes.
+    """Run the pipeline for ``circuits`` with ``jobs`` processes.
 
     Returns one :class:`StudyArtifacts` per circuit, keyed and ordered by
     the caller's circuit order.  ``timings``, when given, accumulates every
     stage record (including worker-side cache hit/miss counts).
+
+    ``scope="functional"`` stops after test generation (no synthesis, fault
+    enumeration, simulation, or selection) — what the functional tables
+    (4/5) need, and cheap enough that serial runs afford it too.
     """
     from repro.harness.experiments import StudyOptions
 
+    if scope not in ("full", "functional"):
+        raise ValueError(f"unknown scope {scope!r}")
     options = options or StudyOptions()
     names = list(dict.fromkeys(circuits))
 
@@ -354,10 +413,20 @@ def compute_studies(
     # those spans already live in the parent's log.
     with trace_span("sweep.prepare", circuits=len(names), jobs=jobs):
         preps: list[_CircuitPrep] = _pool_map(
-            jobs, _prepare_circuit, [(name, options) for name in names]
+            jobs, _prepare_circuit, [(name, options, scope) for name in names]
         )
         for prep in preps:
             absorb_snapshot(prep.obs)
+
+    if scope == "functional":
+        artifacts_fn: dict[str, StudyArtifacts] = {}
+        for prep in preps:
+            if timings is not None:
+                timings.merge(prep.timings)
+            artifacts_fn[prep.name] = StudyArtifacts(
+                prep.name, prep.uio, prep.generation
+            )
+        return artifacts_fn
 
     sim_payloads: list[tuple] = []
     chunk_index: dict[tuple[str, str], list[int]] = {}
@@ -365,8 +434,8 @@ def compute_studies(
     for prep in preps:
         table = load_circuit(prep.name)
         for model, faults in (
-            ("stuck_at", prep.stuck_at_faults),
-            ("bridging", prep.bridging_faults),
+            ("stuck_at", prep.stuck_at_faults or []),
+            ("bridging", prep.bridging_faults or []),
         ):
             chunks = _fault_chunks(faults, jobs)
             chunk_lists[(prep.name, model)] = chunks
@@ -392,8 +461,10 @@ def compute_studies(
                 timings.merge(prep.timings)
             selections: dict[str, EffectiveSelection] = {}
             for model, faults, detectability in (
-                ("stuck_at", prep.stuck_at_faults, prep.stuck_at_detectability),
-                ("bridging", prep.bridging_faults, prep.bridging_detectability),
+                ("stuck_at", prep.stuck_at_faults or [],
+                 prep.stuck_at_detectability or (set(), set())),
+                ("bridging", prep.bridging_faults or [],
+                 prep.bridging_detectability or (set(), set())),
             ):
                 positions = chunk_index[(prep.name, model)]
                 chunk_masks = [sim_results[position][0] for position in positions]

@@ -35,6 +35,7 @@ import numpy as np
 from repro.errors import SearchBudgetExceeded, StateTableError
 from repro.fsm.state_table import StateTable
 from repro.obs.metrics import current_registry
+from repro.obs.provenance import current_provenance
 from repro.obs.trace import span as trace_span
 
 __all__ = [
@@ -272,4 +273,24 @@ def compute_uio_table(
         registry.counter("uio.search.states").add(table.n_states)
         registry.counter("uio.search.found").add(len(sequences))
         registry.counter("uio.search.budget_exhausted").add(len(exhausted))
+    prov = current_provenance()
+    if prov is not None:
+        # One outcome per state: "none" proves absence within the bound,
+        # "budget" only means the search gave up — the generator's
+        # scan-out reasons mirror this distinction.
+        for state in range(table.n_states):
+            seq = sequences.get(state)
+            if seq is not None:
+                prov.uio_outcome(
+                    table.name, state, "found",
+                    length=seq.length, final_state=seq.final_state,
+                )
+            elif state in exhausted:
+                prov.uio_outcome(
+                    table.name, state, "budget", node_budget=node_budget
+                )
+            else:
+                prov.uio_outcome(
+                    table.name, state, "none", max_length=max_length
+                )
     return UioTable(table.name, max_length, sequences, frozenset(exhausted))

@@ -15,6 +15,7 @@ from typing import Callable, Iterable
 from repro.errors import StateTableError
 from repro.fsm.state_table import StateTable
 from repro.obs.metrics import current_registry
+from repro.obs.provenance import current_provenance
 from repro.obs.trace import span as trace_span
 
 __all__ = ["find_transfer", "transfer_map"]
@@ -76,6 +77,16 @@ def find_transfer(
             registry.histogram("transfer.bfs.length").observe(len(found))
         else:
             registry.counter("transfer.bfs.unreachable").add(1)
+    prov = current_provenance()
+    if prov is not None:
+        if found is not None:
+            prov.transfer_outcome(
+                table.name, source, "found", length=len(found)
+            )
+        else:
+            prov.transfer_outcome(
+                table.name, source, "none", max_length=max_length
+            )
     return found
 
 

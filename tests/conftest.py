@@ -10,6 +10,17 @@ from repro.core.generator import generate_tests
 from repro.fsm.builders import StateTableBuilder
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_ledger(tmp_path, monkeypatch):
+    """Point the run ledger at a per-test directory.
+
+    CLI-level tests (and ``run_bench``) append ledger records; without this
+    they would write into the developer's real
+    ``~/.local/state/repro-fsatpg/ledger``.
+    """
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+
+
 @pytest.fixture(scope="session")
 def lion():
     """The paper's exact ``lion`` machine (Table 1)."""

@@ -30,6 +30,7 @@ from repro.obs.metrics import (
     histogram_observe,
     set_registry,
 )
+from repro.obs.provenance import set_provenance
 from repro.obs.report import aggregate_spans, render_stats
 from repro.obs.trace import (
     SpanRecord,
@@ -50,13 +51,15 @@ from repro.perf.engine import compute_studies
 
 @pytest.fixture(autouse=True)
 def _clean_obs_state():
-    """No test leaks a tracer, registry, or verbosity change."""
+    """No test leaks a tracer, registry, provenance log, or verbosity change."""
     previous_tracer = set_tracer(None)
     previous_registry = set_registry(None)
+    previous_provenance = set_provenance(None)
     previous_verbosity = set_verbosity(WARNING)
     yield
     set_tracer(previous_tracer)
     set_registry(previous_registry)
+    set_provenance(previous_provenance)
     set_verbosity(previous_verbosity)
 
 
@@ -589,7 +592,7 @@ class TestCli:
         with pytest.raises(SystemExit) as excinfo:
             main(["trace", "bogus"])
         assert excinfo.value.code == 2
-        assert "unknown trace target" in capsys.readouterr().err
+        assert "unknown target" in capsys.readouterr().err
 
     def test_stats_command(self, capsys):
         assert main(["stats", "lion", "--top", "5"]) == 0

@@ -1,0 +1,217 @@
+"""Tests of ATPG decision provenance (recording, merging, and ``explain``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.benchmarks import load_circuit
+from repro.cli import main
+from repro.core.config import GeneratorConfig
+from repro.core.generator import generate_tests
+from repro.obs.provenance import (
+    ProvenanceEvent,
+    ProvenanceLog,
+    decision_summary,
+    set_provenance,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_study_cache():
+    from repro.harness import experiments
+
+    experiments._STUDIES.clear()
+    yield
+    experiments._STUDIES.clear()
+
+
+class TestProvenanceLog:
+    def test_record_and_query(self):
+        log = ProvenanceLog()
+        log.decision("m", 1, 0, "chained", "uio", uio_length=2)
+        log.decision("m", 0, 1, "scan_out", "no-uio")
+        log.uio_outcome("m", 0, "none", max_length=2)
+        assert len(log) == 3
+        decisions = list(log.decisions("m"))
+        # (state, combo) order, not insertion order.
+        assert [(e.state, e.combo) for e in decisions] == [(0, 1), (1, 0)]
+        assert list(log.decisions("other")) == []
+
+    def test_snapshot_and_absorb(self):
+        log = ProvenanceLog()
+        log.decision("m", 0, 0, "chained", "uio")
+        drained = log.snapshot(reset=True)
+        assert len(drained) == 1 and len(log) == 0
+        other = ProvenanceLog()
+        other.absorb(drained)
+        assert len(other) == 1
+
+    def test_event_to_dict_drops_empty_fields(self):
+        event = ProvenanceEvent("uio", "m", 3, -1, "found", "", {"length": 2})
+        data = event.to_dict()
+        assert "combo" not in data and "reason" not in data
+        assert data["detail"] == {"length": 2}
+
+    def test_decision_summary_counts(self):
+        log = ProvenanceLog()
+        log.decision("m", 0, 0, "chained", "uio")
+        log.decision("m", 0, 1, "chained", "uio")
+        log.decision("m", 1, 0, "scan_out", "no-uio")
+        log.uio_outcome("m", 0, "found")  # not a decision: ignored
+        summary = decision_summary(log.events)
+        assert summary == {
+            "decisions": {"chained": 2, "scan_out": 1},
+            "reasons": {"no-uio": 1, "uio": 2},
+        }
+
+
+class TestGeneratorRecording:
+    def test_one_decision_per_transition(self, lion):
+        with obs.observing() as session:
+            generate_tests(lion, GeneratorConfig())
+        decisions = list(session.provenance.decisions("lion"))
+        assert len(decisions) == lion.n_transitions == 16
+        seen = {(e.state, e.combo) for e in decisions}
+        assert len(seen) == 16
+
+    def test_decision_reasons_match_papers_lion_schedule(self, lion):
+        with obs.observing() as session:
+            result = generate_tests(lion, GeneratorConfig())
+        summary = decision_summary(session.provenance.events)
+        assert summary["decisions"] == {"chained": 7, "scan_out": 9}
+        assert summary["reasons"] == {"no-uio": 9, "uio": 7}
+        # Every decision cites a test index inside the generated set.
+        indices = {
+            e.detail["test_index"]
+            for e in session.provenance.decisions("lion")
+        }
+        assert indices == set(range(result.n_tests))
+
+    def test_uio_outcomes_recorded_per_state(self, lion):
+        with obs.observing() as session:
+            generate_tests(lion, GeneratorConfig())
+        outcomes = [e for e in session.provenance.events if e.kind == "uio"]
+        assert len(outcomes) == lion.n_states
+        found = {e.state for e in outcomes if e.outcome == "found"}
+        none = {e.state for e in outcomes if e.outcome == "none"}
+        assert found | none == set(range(lion.n_states))
+        for event in outcomes:
+            if event.outcome == "found":
+                assert event.detail["length"] >= 1
+
+    def test_nothing_recorded_when_disabled(self, lion):
+        assert set_provenance(None) is None
+        generate_tests(lion, GeneratorConfig())
+        # No log installed: nothing to assert on except the absence of one.
+        from repro.obs.provenance import current_provenance
+
+        assert current_provenance() is None
+
+    def test_transfer_outcomes_recorded_for_longer_bounds(self):
+        from repro.uio.search import compute_uio_table
+        from repro.uio.transfer import find_transfer
+
+        table = load_circuit("bbtas")
+        with obs.observing() as session:
+            uio = compute_uio_table(table, table.n_state_variables)
+            targets = {s for s in range(table.n_states) if uio.get(s)}
+            # Exclude the source: a source-in-targets call early-returns
+            # without a BFS and records nothing.
+            find_transfer(table, 0, targets - {0}, max_length=3)
+            find_transfer(table, 0, set(), max_length=3)
+        outcomes = {
+            e.outcome
+            for e in session.provenance.events
+            if e.kind == "transfer"
+        }
+        assert "none" in outcomes
+        assert outcomes <= {"found", "none"}
+
+
+class TestWorkerMerge:
+    def test_jobs_2_events_match_serial(self):
+        from repro.harness.experiments import warm_studies
+
+        circuits = ("lion", "mc")
+
+        def run(jobs: int) -> list[dict]:
+            with obs.observing() as session:
+                warm_studies(circuits, jobs=jobs, scope="functional")
+            events = sorted(
+                (e.to_dict() for e in session.provenance.events),
+                key=lambda d: json.dumps(d, sort_keys=True),
+            )
+            return events
+
+        assert run(1) == run(2)
+
+
+class TestExplainCli:
+    def test_explain_covers_every_transition(self, capsys):
+        assert main(["explain", "table5", "--circuit", "lion"]) == 0
+        out = capsys.readouterr().out
+        assert "lion: 16 transition decision(s)" in out
+        assert out.count("-->") == 16
+        assert "chained [uio]" in out
+        assert "scan_out [no-uio]" in out
+        assert "summary: chained=7, scan_out=9" in out
+
+    def test_explain_single_transition(self, capsys):
+        assert main(["explain", "lion", "--transition", "2,1"]) == 0
+        out = capsys.readouterr().out
+        assert "lion: 1 transition decision(s)" in out
+        assert "st2 --in1-->" in out
+
+    def test_explain_json_format(self, capsys):
+        assert main(["explain", "lion", "--transition", "0,1",
+                     "--format", "json"]) == 0
+        (event,) = json.loads(capsys.readouterr().out)
+        assert event["kind"] == "decision"
+        assert (event["state"], event["combo"]) == (0, 1)
+        assert event["outcome"] in ("chained", "scan_out")
+        assert event["reason"]
+
+    def test_explain_missing_transition_exits_1(self, capsys):
+        assert main(["explain", "lion", "--transition", "99,0"]) == 1
+
+    def test_explain_bad_transition_syntax_exits_2(self, capsys):
+        assert main(["explain", "lion", "--transition", "nope"]) == 2
+
+    def test_explain_unknown_target_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explain", "table99"])
+        assert excinfo.value.code == 2
+
+    def test_explain_respects_uio_bound(self, capsys):
+        assert main(["explain", "lion", "--uio-length", "1",
+                     "--format", "json"]) == 0
+        events = json.loads(capsys.readouterr().out)
+        lengths = {
+            e["detail"]["uio_length"]
+            for e in events
+            if "detail" in e and "uio_length" in e["detail"]
+        }
+        assert lengths <= {1}
+
+
+class TestLedgerEmbedding:
+    def test_table5_record_embeds_decision_summary(self, capsys):
+        from repro.obs import ledger
+
+        assert main(["table5", "--circuits", "lion"]) == 0
+        (record,) = ledger.read_records()
+        assert record["provenance"] == {
+            "decisions": {"chained": 7, "scan_out": 9},
+            "reasons": {"no-uio": 9, "uio": 7},
+        }
+
+    def test_table4_record_is_jobs_invariant_with_provenance(self, capsys):
+        from repro.obs import ledger
+
+        assert main(["table4", "--circuits", "lion,mc"]) == 0
+        assert main(["table4", "--circuits", "lion,mc", "--jobs", "2"]) == 0
+        serial, parallel = ledger.read_records()
+        assert serial["provenance"] == parallel["provenance"]
