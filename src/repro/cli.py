@@ -326,8 +326,91 @@ def _cmd_cache_info(args: argparse.Namespace) -> int:
               f"{stats['bytes']:12,d} bytes")
     print(f"total     {info['entries']} entries, {info['bytes']:,} bytes")
     session = info["session"]
-    print(f"session   {session['hits']} hit(s), {session['misses']} miss(es)"
-          f" ({100.0 * session['hit_rate']:.1f}% hit rate)")
+    lookups = session["hits"] + session["misses"]
+    if lookups:
+        print(f"session   {session['hits']} hit(s), {session['misses']} miss(es)"
+              f" ({100.0 * session['hit_rate']:.1f}% hit rate)")
+    else:
+        # A 0.0% rate would misread as "all misses" when nothing was asked.
+        print("session   no lookups yet (hit rate n/a)")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.benchmarks import load_kiss_machine
+    from repro.perf.artifacts import cached_scan_circuit, cached_sca
+    from repro.sca import INFINITY
+
+    table = load_circuit(args.circuit)
+    options = _options_from(args)
+    scan = cached_scan_circuit(
+        load_kiss_machine(args.circuit), options.synthesis, table,
+        circuit=args.circuit,
+    )
+    sca = cached_sca(scan.netlist, circuit=args.circuit)
+    # cached_sca verifies before storing; re-check here so what gets printed
+    # is machine-checked in this very process, even on a cache hit.
+    sca.verify()
+    universe = sca.universe
+    args._ledger_circuits = [args.circuit]
+    args._ledger_results = {
+        args.circuit: {
+            "faults": universe.n_faults,
+            "representatives": universe.n_representatives,
+            "collapse_ratio": round(universe.ratio, 4),
+            "constant_nets": len(sca.constants.constant_lines),
+            "unobservable_nets": len(sca.unobservable),
+            "certificates": len(sca.certificates),
+            "untestable_faults": len(sca.untestable_faults),
+        }
+    }
+    if args.format == "json":
+        payload = sca.to_dict(include_scoap=not args.no_scoap)
+        payload["circuit"] = args.circuit
+        payload["max_fanin"] = args.max_fanin
+        payload["verified"] = True
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    netlist = scan.netlist
+    fmt = lambda v: "inf" if v >= INFINITY else str(v)  # noqa: E731
+    print(f"circuit        {args.circuit}")
+    print(f"netlist        {netlist.n_gates} gates, "
+          f"{len(netlist.inputs)} inputs, {len(netlist.outputs)} outputs, "
+          f"depth {max(sca.levels, default=0)}")
+    print(f"regions        {sca.regions.n_regions} fanout-free regions, "
+          f"{len(netlist.inputs) + len(sca.regions.branches)} checkpoints")
+    print(f"collapse       {universe.n_faults} faults -> "
+          f"{universe.n_representatives} representatives "
+          f"({universe.ratio:.2f}x)")
+    print(f"constants      {len(sca.constants.constant_lines)} proven-constant "
+          f"net(s)")
+    print(f"unobservable   {len(sca.unobservable)} proven-unobservable net(s)")
+    print(f"untestable     {len(sca.certificates)} certificate(s) covering "
+          f"{len(sca.untestable_faults)} fault(s), all verified")
+    scoap = sca.scoap
+    hardest = sorted(
+        range(netlist.n_gates),
+        key=lambda line: (-scoap.testability(line), line),
+    )[: max(args.top, 0)]
+    if hardest:
+        print()
+        print(f"hardest nets by SCOAP (top {len(hardest)}):")
+        print(f"  {'net':<14} {'cc0':>6} {'cc1':>6} {'co':>6} {'t':>6}")
+        for line in hardest:
+            label = netlist.gate(line).name or f"g{line}"
+            print(f"  {label:<14} {fmt(scoap.cc0[line]):>6} "
+                  f"{fmt(scoap.cc1[line]):>6} {fmt(scoap.co[line]):>6} "
+                  f"{fmt(scoap.testability(line)):>6}")
+    if sca.certificates:
+        print()
+        shown = sca.certificates[:20]
+        print(f"certificates ({len(sca.certificates)} total, "
+              f"{len(shown)} shown):")
+        for cert in shown:
+            print(f"  {cert.fault.site():<20} {cert.reason}")
     return 0
 
 
@@ -855,6 +938,32 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--scan-ratio", type=int, default=1)
     lint.set_defaults(func=_cmd_lint)
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="static netlist analysis: fault collapsing, SCOAP measures, "
+        "and machine-checked redundancy proofs",
+    )
+    analyze.add_argument("circuit")
+    analyze.add_argument("--max-fanin", type=int, default=4,
+                         help="gate fanin bound for synthesis (0 = unbounded)")
+    analyze.add_argument("--format", choices=("human", "json"),
+                         default="human",
+                         help="json emits the full repro-fsatpg-sca/1 "
+                         "payload (see scripts/validate_sca.py)")
+    analyze.add_argument("--top", type=int, default=10,
+                         help="hardest nets shown in the SCOAP table "
+                         "(human format; default: 10)")
+    analyze.add_argument("--no-scoap", action="store_true",
+                         help="omit the per-net SCOAP block from JSON output")
+    analyze.add_argument("--cache-dir", default=None, metavar="PATH",
+                         help="enable the artifact cache rooted at PATH "
+                         "('default' = ~/.cache/repro-fsatpg)")
+    analyze.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="write a Chrome trace_event file of this run")
+    analyze.add_argument("--metrics-out", default=None, metavar="PATH",
+                         help="write a JSON metrics snapshot of this run")
+    analyze.set_defaults(func=_cmd_analyze)
+
     fuzz = sub.add_parser(
         "fuzz",
         help="differential fuzzing: random machines through paired "
@@ -1054,12 +1163,12 @@ def _normalize(args: argparse.Namespace) -> None:
 #: trending; the cache and ledger subcommands are bookkeeping.
 _LEDGER_COMMANDS = frozenset(
     {f"table{number}" for number in range(2, 10)}
-    | {"all", "generate", "claims", "fuzz"}
+    | {"all", "generate", "claims", "fuzz", "analyze"}
 )
 
 #: Span names that are pipeline stages (see ``repro.perf.artifacts``).
 _STAGE_SPAN_NAMES = frozenset(
-    {"uio", "synthesis", "generation", "detectability", "fault-sim"}
+    {"uio", "synthesis", "generation", "detectability", "fault-sim", "sca"}
 )
 
 

@@ -23,12 +23,73 @@ extension honestly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Collection, Hashable, TypeVar
 
 from repro.core.testset import SegmentKind, TestSet
 from repro.errors import GenerationError
 from repro.fsm.state_table import StateTable
 
-__all__ = ["CoverageReport", "verify_test_set"]
+__all__ = ["CoverageReport", "FaultSplit", "split_undetected", "verify_test_set"]
+
+FaultT = TypeVar("FaultT", bound=Hashable)
+
+
+@dataclass(frozen=True)
+class FaultSplit:
+    """Gate-level coverage with "undetected" split into its two meanings.
+
+    Raw coverage lumps provably redundant faults (a machine-checked
+    untestability certificate exists; no test can ever detect them) together
+    with genuinely *missed* faults.  This split separates them: only the
+    ``missed`` bin is actionable, and ``testable_coverage`` — detected over
+    faults that are not proved redundant — is the honest quality figure.
+    """
+
+    n_faults: int
+    detected: int
+    redundant: int
+    missed: int
+
+    @property
+    def coverage(self) -> float:
+        """Raw coverage over the full universe (redundant counted against)."""
+        return self.detected / self.n_faults if self.n_faults else 1.0
+
+    @property
+    def testable_coverage(self) -> float:
+        """Coverage over the faults some test could conceivably detect."""
+        testable = self.n_faults - self.redundant
+        return self.detected / testable if testable else 1.0
+
+
+def split_undetected(
+    all_faults: Collection[FaultT],
+    detected: Collection[FaultT],
+    proven_untestable: Collection[FaultT],
+) -> FaultSplit:
+    """Classify every fault as detected, redundant (proved), or missed.
+
+    ``proven_untestable`` must hold only certificate-backed faults; a fault
+    that is both detected and claimed untestable indicates an unsound
+    certificate and raises :class:`GenerationError` rather than silently
+    picking a bin.
+    """
+    universe = set(all_faults)
+    caught = set(detected) & universe
+    redundant = set(proven_untestable) & universe
+    overlap = caught & redundant
+    if overlap:
+        sample = sorted(repr(fault) for fault in overlap)[:3]
+        raise GenerationError(
+            f"{len(overlap)} fault(s) both detected and proved untestable "
+            f"(unsound certificate?): {', '.join(sample)}"
+        )
+    return FaultSplit(
+        n_faults=len(universe),
+        detected=len(caught),
+        redundant=len(redundant),
+        missed=len(universe) - len(caught) - len(redundant),
+    )
 
 
 @dataclass

@@ -69,6 +69,16 @@ class LintError(ReproError):
     """
 
 
+class CertificateError(ReproError):
+    """An untestability certificate failed machine verification.
+
+    Raised by :mod:`repro.sca` when a replayed derivation or blocking proof
+    does not hold against the netlist it claims to describe — a corrupted,
+    stale, or simply wrong certificate must never silently classify a fault
+    as redundant.
+    """
+
+
 class FuzzError(ReproError):
     """The differential fuzzing subsystem was driven with invalid inputs.
 

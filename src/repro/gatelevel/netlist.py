@@ -17,13 +17,18 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import NetlistError
+
+#: One uint64 word array: each bit position is an independent instance.
+Words = npt.NDArray[np.uint64]
 
 __all__ = [
     "GateType",
     "Gate",
     "Netlist",
+    "Words",
     "ALL_ONES",
     "pack_bits",
     "unpack_bits",
@@ -86,7 +91,7 @@ class Gate:
         return len(self.fanins)
 
 
-def _evaluate_gate(kind: GateType, fanin_values: Sequence[np.ndarray]) -> np.ndarray:
+def _evaluate_gate(kind: GateType, fanin_values: Sequence[Words]) -> Words:
     """Word-parallel value of one gate from its fanin values."""
     if kind is GateType.CONST0:
         return np.zeros(1, dtype=np.uint64)
@@ -233,7 +238,7 @@ class Netlist:
             return True
         return sink in self.fanout_closure([source])
 
-    def reachability_matrix(self) -> np.ndarray:
+    def reachability_matrix(self) -> Words:
         """Bitset matrix ``R``: bit ``j`` of ``R[i]`` word ``j//64`` says
         line ``j`` is combinationally reachable from line ``i`` (reflexive).
         """
@@ -265,8 +270,8 @@ class Netlist:
     # ----------------------------------------------------------- evaluation
 
     def evaluate(
-        self, input_values: Sequence[np.ndarray] | np.ndarray
-    ) -> np.ndarray:
+        self, input_values: Sequence[npt.ArrayLike] | npt.ArrayLike
+    ) -> Words:
         """Forward-evaluate all gates.
 
         ``input_values`` is one uint64 word array per primary input (all of
@@ -309,25 +314,25 @@ class Netlist:
         )
 
 
-def pack_bits(bits: np.ndarray) -> np.ndarray:
+def pack_bits(bits: npt.ArrayLike) -> Words:
     """Pack a boolean vector into uint64 words (bit ``i`` -> word ``i//64``)."""
-    bits = np.asarray(bits, dtype=bool)
-    n_words = (bits.size + 63) // 64
+    flat = np.asarray(bits, dtype=bool)
+    n_words = (flat.size + 63) // 64
     padded = np.zeros(n_words * 64, dtype=bool)
-    padded[: bits.size] = bits
+    padded[: flat.size] = flat
     weights = np.uint64(1) << np.arange(64, dtype=np.uint64)
     return (padded.reshape(n_words, 64) * weights).sum(axis=1, dtype=np.uint64)
 
 
-def unpack_bits(words: np.ndarray, n_bits: int) -> np.ndarray:
+def unpack_bits(words: npt.ArrayLike, n_bits: int) -> npt.NDArray[np.bool_]:
     """Inverse of :func:`pack_bits` (truncated to ``n_bits``)."""
-    words = np.asarray(words, dtype=np.uint64)
+    packed = np.asarray(words, dtype=np.uint64)
     shifts = np.arange(64, dtype=np.uint64)
-    bits = ((words[:, None] >> shifts) & np.uint64(1)).astype(bool)
+    bits = ((packed[:, None] >> shifts) & np.uint64(1)).astype(bool)
     return bits.reshape(-1)[:n_bits]
 
 
-def exhaustive_pattern_words(n_inputs: int) -> list[np.ndarray]:
+def exhaustive_pattern_words(n_inputs: int) -> list[Words]:
     """Word vectors enumerating all ``2**n_inputs`` patterns, one per input.
 
     Pattern ``p`` (its bit position across all words) applies bit

@@ -28,7 +28,7 @@ from repro.core.testset import baseline_clock_cycles
 from repro.gatelevel.bridging import BridgingFault, enumerate_bridging_faults
 from repro.gatelevel.compiled import CompiledFaultSimulator
 from repro.gatelevel.scan import ScanCircuit
-from repro.gatelevel.stuck_at import StuckAtFault, collapse_stuck_at
+from repro.gatelevel.stuck_at import StuckAtFault
 from repro.gatelevel.synthesis import SynthesisOptions
 from repro.harness.runtime import StageTimings
 from repro.harness.tables import format_csv, format_table
@@ -138,27 +138,47 @@ class CircuitStudy:
         )
 
     @cached_property
+    def sca(self):
+        """Static analysis of the synthesized netlist (cached per hash)."""
+        from repro.perf.artifacts import cached_sca
+
+        return cached_sca(self.scan_circuit.netlist, circuit=self.name)
+
+    @cached_property
     def stuck_at_faults(self) -> list[StuckAtFault]:
-        mapping = collapse_stuck_at(self.scan_circuit.netlist)
-        return sorted(set(mapping.values()))
+        return list(self.sca.universe.representatives)
+
+    @cached_property
+    def stuck_at_proven(self) -> frozenset[StuckAtFault]:
+        """Representatives whose untestability has a verified certificate."""
+        return frozenset(self.sca.untestable_representatives)
 
     @cached_property
     def stuck_at_detectability(self) -> tuple[set, set]:
         from repro.perf.artifacts import cached_detectability
 
-        return cached_detectability(
-            self.scan_circuit.netlist, self.stuck_at_faults, circuit=self.name
+        # Certificate-proved representatives skip the exhaustive oracle: a
+        # verified certificate already places them in the undetectable bin,
+        # so the merged partition equals grading the full list.
+        proven = self.stuck_at_proven
+        live = [f for f in self.stuck_at_faults if f not in proven]
+        detectable, undetectable = cached_detectability(
+            self.scan_circuit.netlist, live, circuit=self.name
         )
+        return detectable, undetectable | set(proven)
 
     @cached_property
     def stuck_at_selection(self) -> EffectiveSelection:
         _, undetectable = self.stuck_at_detectability
+        live = [
+            f for f in self.stuck_at_faults if f not in self.stuck_at_proven
+        ]
         with trace_span(
             "faultsim.select", circuit=self.name, model="stuck_at",
-            n_faults=len(self.stuck_at_faults),
+            n_faults=len(live),
         ):
             simulator = CompiledFaultSimulator(
-                self.scan_circuit, self.table, self.stuck_at_faults
+                self.scan_circuit, self.table, live
             )
             return select_effective_tests(
                 self.generation.test_set,
@@ -166,6 +186,17 @@ class CircuitStudy:
                 self.stuck_at_faults,
                 stop_when_exhausted=undetectable,
             )
+
+    @property
+    def stuck_at_split(self):
+        """Detected / redundant (proved) / missed split of the universe."""
+        from repro.core.coverage import split_undetected
+
+        return split_undetected(
+            self.stuck_at_faults,
+            self.stuck_at_selection.detected,
+            self.stuck_at_proven,
+        )
 
     @cached_property
     def bridging_faults(self) -> list[BridgingFault]:

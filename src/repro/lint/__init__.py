@@ -16,7 +16,9 @@ Three analyzers cover the three artifact kinds:
   pairs, cube/output widths, KISS round-trip, table domains);
 * :func:`analyze_netlist` — netlists and scan circuits (combinational
   cycles via SCC detection, undriven nets, dangling logic, fanin arity,
-  missing outputs, scan-chain integrity);
+  missing outputs, scan-chain integrity, plus the :mod:`repro.sca`-powered
+  semantic rules: proven-constant nets, unobservable logic, dead input
+  cones, certificate-proved redundant faults, pathological SCOAP scores);
 * :func:`analyze_test_program` — generated scan tests against their machine
   (UIO length caps, landing states, input ranges, coverage claims and
   gaps, transfer length caps).
@@ -32,6 +34,7 @@ from repro.lint.diagnostics import Diagnostic, LintReport, Severity
 from repro.lint.registry import Rule, all_rules, get_rule, register, rules_for
 from repro.lint.fsm_rules import MachineArtifact, analyze_machine, lint_kiss_source
 from repro.lint.netlist_rules import NetlistArtifact, analyze_netlist
+from repro.lint import sca_rules as _sca_rules  # noqa: F401  (registers NET007-011)
 from repro.lint.test_rules import TestProgramArtifact, analyze_test_program
 from repro.lint.preflight import forget_netlist, preflight_machine, preflight_netlist
 

@@ -169,22 +169,62 @@ class LintReport:
         return "\n".join(lines)
 
     def to_sarif(self) -> dict[str, object]:
-        """A SARIF-like document (the stable subset of SARIF 2.1.0)."""
-        rules = [
-            {
+        """A genuine SARIF 2.1.0 document.
+
+        The envelope (``$schema``/``version``/``runs``), driver metadata
+        (``version``/``informationUri``), per-rule ``defaultConfiguration``
+        levels, and per-result ``ruleIndex`` back-references follow the
+        spec so GitHub code scanning and generic SARIF viewers ingest the
+        output directly.
+        """
+        # Imported lazily: the registry imports this module for Severity.
+        from repro import __version__
+        from repro.lint.registry import get_rule
+
+        def default_level(rule_id: str) -> str | None:
+            try:
+                return get_rule(rule_id).severity.sarif_level
+            except ReproError:
+                return None
+
+        ordered = sorted(self.rule_index.items())
+        rules: list[dict[str, object]] = []
+        for rule_id, (name, description) in ordered:
+            entry: dict[str, object] = {
                 "id": rule_id,
                 "name": name,
                 "shortDescription": {"text": description},
             }
-            for rule_id, (name, description) in sorted(self.rule_index.items())
-        ]
+            level = default_level(rule_id)
+            if level is not None:
+                entry["defaultConfiguration"] = {"level": level}
+            rules.append(entry)
+        rule_position = {rule_id: i for i, (rule_id, _) in enumerate(ordered)}
+        results: list[dict[str, object]] = []
+        for diagnostic in self.diagnostics:
+            result = diagnostic.to_sarif()
+            position = rule_position.get(diagnostic.rule_id)
+            if position is not None:
+                result["ruleIndex"] = position
+            results.append(result)
         return {
             "version": "2.1.0",
             "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
             "runs": [
                 {
-                    "tool": {"driver": {"name": "repro-lint", "rules": rules}},
-                    "results": [d.to_sarif() for d in self.diagnostics],
+                    "tool": {
+                        "driver": {
+                            "name": "repro-lint",
+                            "version": __version__,
+                            "informationUri": (
+                                "https://github.com/paper-repro/"
+                                "repro-fsatpg"
+                            ),
+                            "rules": rules,
+                        }
+                    },
+                    "columnKind": "utf16CodeUnits",
+                    "results": results,
                 }
             ],
         }

@@ -30,19 +30,23 @@ from repro.gatelevel.scan import ScanCircuit
 from repro.gatelevel.stuck_at import StuckAtFault
 from repro.gatelevel.synthesis import SynthesisOptions
 from repro.harness.runtime import StageTimings
+from repro.obs.metrics import counter_add, histogram_observe
 from repro.obs.trace import _SpanContext, complete_event
 from repro.obs.trace import span as trace_span
 from repro.perf.cache import active_cache, artifact_key
+from repro.sca import ScaAnalysis, analyze
 from repro.uio.search import UioTable, compute_uio_table
 
 __all__ = [
     "STAGE_DETECTABILITY",
     "STAGE_FAULT_SIM",
     "STAGE_GENERATION",
+    "STAGE_SCA",
     "STAGE_SYNTHESIS",
     "STAGE_UIO",
     "cached_detectability",
     "cached_scan_circuit",
+    "cached_sca",
     "cached_uio_table",
     "fault_universe_parts",
     "machine_parts",
@@ -58,6 +62,7 @@ STAGE_SYNTHESIS = "synthesis"
 STAGE_GENERATION = "generation"
 STAGE_DETECTABILITY = "detectability"
 STAGE_FAULT_SIM = "fault-sim"
+STAGE_SCA = "sca"
 
 
 # ------------------------------------------------------------- key material
@@ -243,3 +248,50 @@ def cached_detectability(
             "detectability", key, (frozenset(detectable), frozenset(undetectable))
         )
     return detectable, undetectable
+
+
+def cached_sca(
+    netlist: Netlist,
+    *,
+    circuit: str = "",
+    timings: StageTimings | None = None,
+) -> ScaAnalysis:
+    """Fully materialized static analysis of ``netlist``.
+
+    Entries are stored only after :meth:`~repro.sca.ScaAnalysis.verify`
+    replayed every constant derivation and untestability certificate, so a
+    cache hit returns machine-checked proofs (the same trust discipline as
+    ``cached_scan_circuit``, which only stores verified syntheses).
+    """
+    cache = active_cache()
+    key = ""
+    if cache is not None:
+        key = artifact_key("sca", netlist_parts(netlist))
+        stored = cache.get("sca", key)
+        if stored is not None:
+            _record(timings, circuit, STAGE_SCA, 0.0, "hit")
+            _report_sca(stored)
+            return stored
+    with _staged(timings, circuit, STAGE_SCA) as sp:
+        if cache is not None:
+            sp.set(cache="miss")
+        sca = analyze(netlist).materialize()
+        sca.verify()
+        sp.set(
+            representatives=sca.universe.n_representatives,
+            certificates=len(sca.certificates),
+        )
+    if cache is not None:
+        cache.put("sca", key, sca)
+    _report_sca(sca)
+    return sca
+
+
+def _report_sca(sca: ScaAnalysis) -> None:
+    """Fold collapse/proof statistics into the metrics registry."""
+    universe = sca.universe
+    counter_add("sca.faults", universe.n_faults)
+    counter_add("sca.representatives", universe.n_representatives)
+    counter_add("sca.certificates", len(sca.certificates))
+    counter_add("sca.constant_lines", len(sca.constants.constant_lines))
+    histogram_observe("sca.collapse_ratio", universe.ratio)

@@ -64,6 +64,7 @@ ARTIFACT_VERSIONS: dict[str, int] = {
     "synthesis": 1,
     "detectability": 1,
     "simulator-source": 1,
+    "sca": 1,
 }
 
 #: On-disk layout version; bump to orphan every existing entry at once.

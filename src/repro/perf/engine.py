@@ -40,7 +40,6 @@ from repro.fsm.state_table import StateTable
 from repro.gatelevel.bridging import enumerate_bridging_faults
 from repro.gatelevel.compiled import CompiledFaultSimulator
 from repro.gatelevel.scan import ScanCircuit
-from repro.gatelevel.stuck_at import collapse_stuck_at
 from repro.harness.runtime import StageTimings, stopwatch
 from repro.obs import (
     ObsSnapshot,
@@ -56,6 +55,7 @@ from repro.perf.artifacts import (
     Fault,
     cached_detectability,
     cached_scan_circuit,
+    cached_sca,
     cached_uio_table,
 )
 from repro.perf.cache import ArtifactCache, active_cache, set_active_cache
@@ -89,6 +89,9 @@ class StudyArtifacts:
     bridging_faults: list[Fault] | None = None
     bridging_detectability: tuple[set[Fault], set[Fault]] | None = None
     bridging_selection: EffectiveSelection | None = None
+    #: representatives proven untestable by a verified certificate; they are
+    #: never simulated, and the detectability partition already counts them
+    stuck_at_proven: frozenset[Fault] | None = None
 
     def install(self, study: "CircuitStudy") -> None:
         """Seed ``study``'s cached properties with these artifacts."""
@@ -102,6 +105,7 @@ class StudyArtifacts:
             "bridging_faults": self.bridging_faults,
             "bridging_detectability": self.bridging_detectability,
             "bridging_selection": self.bridging_selection,
+            "stuck_at_proven": self.stuck_at_proven,
         }
         # cached_property stores its result under the attribute name in the
         # instance __dict__; pre-populating it is the documented way to seed.
@@ -190,6 +194,8 @@ class _CircuitPrep:
     timings: StageTimings
     #: spans + metrics drained from the worker (``None`` when run inline)
     obs: ObsSnapshot | None = None
+    #: stuck-at representatives with a verified untestability certificate
+    stuck_at_proven: frozenset[Fault] = frozenset()
 
 
 def _prepare_circuit(payload: tuple[str, "StudyOptions", str]) -> _CircuitPrep:
@@ -225,10 +231,18 @@ def _prepare_circuit_stages(
         load_kiss_machine(name), options.synthesis, table,
         circuit=name, timings=timings,
     )
-    stuck_at: list[Fault] = sorted(set(collapse_stuck_at(scan.netlist).values()))
-    stuck_at_detectability = cached_detectability(
-        scan.netlist, stuck_at, circuit=name, timings=timings
+    sca = cached_sca(scan.netlist, circuit=name, timings=timings)
+    stuck_at: list[Fault] = list(sca.universe.representatives)
+    proven: frozenset[Fault] = frozenset(sca.untestable_representatives)
+    # Certificate-proved representatives skip the exhaustive oracle and the
+    # simulation chunks entirely: a verified certificate already places them
+    # in the undetectable bin, and equivalent faults share verdicts, so the
+    # merged partition is identical to grading the full representative list.
+    live = [fault for fault in stuck_at if fault not in proven]
+    detectable, undetectable = cached_detectability(
+        scan.netlist, live, circuit=name, timings=timings
     )
+    stuck_at_detectability = (detectable, undetectable | set(proven))
     bridging: list[Fault] = list(
         enumerate_bridging_faults(
             scan.netlist, limit=options.bridging_pair_limit, seed=name
@@ -248,6 +262,7 @@ def _prepare_circuit_stages(
         bridging_detectability,
         tests,
         timings,
+        stuck_at_proven=proven,
     )
 
 
@@ -437,6 +452,10 @@ def compute_studies(
             ("stuck_at", prep.stuck_at_faults or []),
             ("bridging", prep.bridging_faults or []),
         ):
+            if model == "stuck_at" and prep.stuck_at_proven:
+                # Certificate-proved faults are already in the undetectable
+                # bin; simulating them would only burn fault-sim cycles.
+                faults = [f for f in faults if f not in prep.stuck_at_proven]
             chunks = _fault_chunks(faults, jobs)
             chunk_lists[(prep.name, model)] = chunks
             positions: list[int] = []
@@ -497,5 +516,6 @@ def compute_studies(
                 prep.bridging_faults,
                 prep.bridging_detectability,
                 selections["bridging"],
+                stuck_at_proven=prep.stuck_at_proven,
             )
     return artifacts

@@ -1,0 +1,58 @@
+"""Static circuit analysis (``repro.sca``).
+
+Structural passes over :class:`repro.gatelevel.netlist.Netlist` that never
+simulate a pattern: levelization, fanout-free regions, immediate
+dominators, SCOAP testability measures, constant propagation with
+machine-checkable derivations, stuck-at fault collapsing, and
+untestable-fault certificates.  :func:`analyze` bundles everything into a
+lazily computed :class:`ScaAnalysis`.
+"""
+
+from repro.sca.analysis import SCA_SCHEMA, ScaAnalysis, analyze
+from repro.sca.certificates import (
+    UntestableCertificate,
+    prove_untestable,
+    verify_certificate,
+)
+from repro.sca.collapse import CollapsedUniverse, collapse_universe
+from repro.sca.graph import (
+    FanoutFreeRegions,
+    fanout_free_regions,
+    immediate_dominators,
+    levelize,
+)
+from repro.sca.implications import (
+    ConstantAnalysis,
+    DerivationStep,
+    controlling_value,
+    propagate_constants,
+    site_observability,
+    verify_constant_steps,
+    verify_observability_blocks,
+)
+from repro.sca.scoap import INFINITY, ScoapMeasures, compute_scoap
+
+__all__ = [
+    "INFINITY",
+    "SCA_SCHEMA",
+    "CollapsedUniverse",
+    "ConstantAnalysis",
+    "DerivationStep",
+    "FanoutFreeRegions",
+    "ScaAnalysis",
+    "ScoapMeasures",
+    "UntestableCertificate",
+    "analyze",
+    "collapse_universe",
+    "compute_scoap",
+    "controlling_value",
+    "fanout_free_regions",
+    "immediate_dominators",
+    "levelize",
+    "propagate_constants",
+    "prove_untestable",
+    "site_observability",
+    "verify_certificate",
+    "verify_constant_steps",
+    "verify_observability_blocks",
+]

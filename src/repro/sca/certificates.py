@@ -1,0 +1,226 @@
+"""Machine-checkable untestable-fault certificates.
+
+A :class:`UntestableCertificate` is a small, self-contained proof object
+that a specific stuck-at fault is undetectable by *any* input pattern.
+Three proof shapes exist:
+
+``unactivatable``
+    the fault site's fault-free value is a proven constant equal to the
+    stuck value, so the fault never changes anything;
+``masked-pin``
+    a pin fault whose gate has *another* pin proven constant at the gate's
+    controlling value — the gate output is pinned in both the good and the
+    faulty circuit, and a pin fault affects nothing else;
+``unobservable``
+    the deviation the fault could cause at its gate's output can never
+    reach a primary output, witnessed by the blocking (gate, pin) pairs of
+    :func:`repro.sca.implications.site_observability`.
+
+:func:`verify_certificate` re-derives every claim from the netlist and a
+*verified* constant table (see
+:func:`repro.sca.implications.verify_constant_steps`) — the analysis that
+produced the certificate is not trusted.  The test suite additionally
+cross-checks each certificate against exhaustive fault simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CertificateError
+from repro.gatelevel.netlist import Netlist
+from repro.gatelevel.stuck_at import StuckAtFault
+from repro.sca.implications import (
+    ConstantAnalysis,
+    controlling_value,
+    verify_observability_blocks,
+)
+
+__all__ = ["UntestableCertificate", "prove_untestable", "verify_certificate"]
+
+REASONS = ("unactivatable", "masked-pin", "unobservable")
+
+
+@dataclass(frozen=True)
+class UntestableCertificate:
+    """Proof that ``fault`` is undetectable; see the module docstring."""
+
+    fault: StuckAtFault
+    reason: str
+    #: ``unactivatable``: the constant line equal to the stuck value.
+    line: int | None = None
+    value: int | None = None
+    #: ``masked-pin``: the single masking (gate, pin); ``unobservable``:
+    #: every (gate, pin) where the deviation frontier was cut.
+    blocks: tuple[tuple[int, int], ...] = field(default=())
+    #: ``unobservable``: the line where the deviation originates.
+    site: int | None = None
+
+    def to_dict(self) -> dict[str, object]:
+        payload: dict[str, object] = {
+            "fault": {
+                "gate": self.fault.gate,
+                "pin": self.fault.pin,
+                "value": self.fault.value,
+                "site": self.fault.site(),
+            },
+            "reason": self.reason,
+        }
+        if self.reason == "unactivatable":
+            payload["line"] = self.line
+            payload["value"] = self.value
+        elif self.reason == "masked-pin":
+            payload["blocks"] = [list(block) for block in self.blocks]
+        else:
+            payload["site"] = self.site
+            payload["blocks"] = [list(block) for block in self.blocks]
+        return payload
+
+
+def prove_untestable(
+    netlist: Netlist,
+    faults: tuple[StuckAtFault, ...],
+    constants: ConstantAnalysis,
+    unobservable: dict[int, tuple[tuple[int, int], ...]],
+) -> tuple[UntestableCertificate, ...]:
+    """Attempt an untestability proof for each fault in ``faults``.
+
+    ``unobservable`` maps a line to the blocking evidence proving no
+    deviation at that line reaches an output (see
+    :meth:`repro.sca.analysis.ScaAnalysis.unobservable`).  Faults with no
+    proof are simply omitted — absence of a certificate means "unknown",
+    never "testable".
+    """
+    values = constants.values
+    certificates: list[UntestableCertificate] = []
+    for fault in faults:
+        gate = netlist.gate(fault.gate)
+        site_line = (
+            fault.gate if fault.pin is None else gate.fanins[fault.pin]
+        )
+        if values[site_line] == fault.value:
+            certificates.append(
+                UntestableCertificate(
+                    fault,
+                    "unactivatable",
+                    line=site_line,
+                    value=fault.value,
+                )
+            )
+            continue
+        if fault.pin is not None:
+            control = controlling_value(gate.kind)
+            masking_pin = None
+            if control is not None:
+                for pin, fanin in enumerate(gate.fanins):
+                    if pin != fault.pin and values[fanin] == control:
+                        masking_pin = pin
+                        break
+            if masking_pin is not None:
+                certificates.append(
+                    UntestableCertificate(
+                        fault,
+                        "masked-pin",
+                        blocks=((fault.gate, masking_pin),),
+                    )
+                )
+                continue
+        if fault.gate in unobservable:
+            certificates.append(
+                UntestableCertificate(
+                    fault,
+                    "unobservable",
+                    site=fault.gate,
+                    blocks=unobservable[fault.gate],
+                )
+            )
+    return tuple(certificates)
+
+
+def verify_certificate(
+    netlist: Netlist,
+    certificate: UntestableCertificate,
+    verified_constants: dict[int, int],
+) -> None:
+    """Re-derive ``certificate`` from scratch; raises if any claim fails.
+
+    ``verified_constants`` must come from
+    :func:`repro.sca.implications.verify_constant_steps` — constants are the
+    only premises a certificate may import, and they are themselves
+    replayed, so the full proof chain bottoms out at the gate functions.
+    """
+    fault = certificate.fault
+    if not 0 <= fault.gate < netlist.n_gates:
+        raise CertificateError(
+            f"certificate names nonexistent gate {fault.gate}"
+        )
+    gate = netlist.gate(fault.gate)
+    if fault.pin is not None and not 0 <= fault.pin < gate.n_fanins:
+        raise CertificateError(
+            f"certificate names nonexistent pin {fault.pin} of gate "
+            f"{fault.gate}"
+        )
+    if certificate.reason == "unactivatable":
+        site_line = (
+            fault.gate if fault.pin is None else gate.fanins[fault.pin]
+        )
+        if certificate.line != site_line:
+            raise CertificateError(
+                f"unactivatable proof names line {certificate.line}, but "
+                f"fault {fault.site()} sits on line {site_line}"
+            )
+        if verified_constants.get(site_line) != fault.value:
+            raise CertificateError(
+                f"line {site_line} is not a verified constant "
+                f"{fault.value}; fault {fault.site()} may activate"
+            )
+        return
+    if certificate.reason == "masked-pin":
+        if fault.pin is None:
+            raise CertificateError(
+                "masked-pin proofs apply only to pin faults, got "
+                f"{fault.site()}"
+            )
+        if len(certificate.blocks) != 1:
+            raise CertificateError(
+                "masked-pin proof must name exactly one masking pin"
+            )
+        block_gate, masking_pin = certificate.blocks[0]
+        if block_gate != fault.gate:
+            raise CertificateError(
+                f"masking pin sits on gate {block_gate}, not the faulty "
+                f"gate {fault.gate}"
+            )
+        if masking_pin == fault.pin:
+            raise CertificateError("masking pin is the faulty pin itself")
+        if not 0 <= masking_pin < gate.n_fanins:
+            raise CertificateError(
+                f"masking pin {masking_pin} does not exist on gate "
+                f"{fault.gate}"
+            )
+        control = controlling_value(gate.kind)
+        if control is None:
+            raise CertificateError(
+                f"gate {fault.gate} ({gate.kind.value}) has no controlling "
+                "value; masking is impossible"
+            )
+        masking_line = gate.fanins[masking_pin]
+        if verified_constants.get(masking_line) != control:
+            raise CertificateError(
+                f"masking line {masking_line} is not a verified constant "
+                f"{control}"
+            )
+        return
+    if certificate.reason == "unobservable":
+        if certificate.site != fault.gate:
+            raise CertificateError(
+                f"unobservability proof sits at line {certificate.site}, "
+                f"but fault {fault.site()} deviates line {fault.gate}"
+            )
+        verify_observability_blocks(
+            netlist, fault.gate, certificate.blocks, verified_constants
+        )
+        return
+    raise CertificateError(
+        f"unknown certificate reason {certificate.reason!r}"
+    )

@@ -1,0 +1,155 @@
+"""Structural graph passes over combinational netlists.
+
+Three classic DAG analyses that everything else in :mod:`repro.sca` builds
+on:
+
+* :func:`levelize` — topological levels (distance from the primary inputs),
+  the scheduling order used by event-driven simulators and SCOAP;
+* :func:`fanout_free_regions` — partition of the gates into maximal
+  fanout-free cones; the region heads ("stems") are the lines where fault
+  effects can reconverge, and the classic checkpoint theorem says stuck-at
+  tests for primary inputs plus fanout branches cover the whole circuit;
+* :func:`immediate_dominators` — the immediate dominator of every line in
+  the *line → fanout* direction, with a virtual sink behind all primary
+  outputs.  A fault effect on line ``l`` can only reach an output through
+  ``idom(l)``, which is exactly the mandatory-propagation information a
+  deterministic ATPG (D-algorithm / PODEM) wants.
+
+All three passes exploit the :class:`~repro.gatelevel.netlist.Netlist`
+invariant that gate index order is a topological order, so each is a single
+linear sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gatelevel.netlist import Netlist
+
+__all__ = [
+    "FanoutFreeRegions",
+    "fanout_free_regions",
+    "immediate_dominators",
+    "levelize",
+]
+
+def levelize(netlist: Netlist) -> list[int]:
+    """Topological level of every line.
+
+    Primary inputs and constant generators are level 0; every other gate is
+    one more than its deepest fanin.  Because gates are stored in
+    topological order this is a single forward sweep.
+    """
+    levels: list[int] = []
+    for gate in netlist.gates:
+        if not gate.fanins:
+            levels.append(0)
+        else:
+            levels.append(1 + max(levels[fanin] for fanin in gate.fanins))
+    return levels
+
+
+@dataclass(frozen=True)
+class FanoutFreeRegions:
+    """Partition of the netlist into maximal fanout-free regions.
+
+    ``region_of[l]`` is the stem line whose cone ``l`` belongs to;
+    ``stems`` lists the region heads (lines with fanout != 1, i.e. primary
+    outputs, branching stems, and dangling lines).  ``checkpoints`` are the
+    classic checkpoint fault sites: primary inputs plus fanout branches
+    (gate input pins fed by a stem with fanout >= 2).
+    """
+
+    region_of: tuple[int, ...]
+    stems: tuple[int, ...]
+    #: (gate, pin) pairs reading a line whose fanout is at least two
+    branches: tuple[tuple[int, int], ...]
+
+    @property
+    def n_regions(self) -> int:
+        return len(self.stems)
+
+    def members(self, stem: int) -> tuple[int, ...]:
+        """All lines in the region headed by ``stem`` (including it)."""
+        return tuple(
+            line for line, head in enumerate(self.region_of) if head == stem
+        )
+
+
+def fanout_free_regions(netlist: Netlist) -> FanoutFreeRegions:
+    """Assign every line to the stem of its maximal fanout-free region.
+
+    A line is a *stem* when its value is used in more than one place (fanout
+    >= 2), when it is a primary output, or when nothing reads it at all.
+    Every other line feeds exactly one gate, so following single-fanout
+    edges forward always terminates at a unique stem; a reverse sweep
+    resolves all lines in one pass.
+    """
+    fanouts = netlist.fanouts()
+    outputs = set(netlist.outputs)
+    n = netlist.n_gates
+    region = [0] * n
+    stems: list[int] = []
+    for line in range(n - 1, -1, -1):
+        readers = fanouts[line]
+        if len(readers) == 1 and line not in outputs:
+            region[line] = region[readers[0]]
+        else:
+            region[line] = line
+            stems.append(line)
+    branches = tuple(
+        (gate.index, pin)
+        for gate in netlist.gates
+        for pin, fanin in enumerate(gate.fanins)
+        if len(fanouts[fanin]) >= 2
+    )
+    return FanoutFreeRegions(tuple(region), tuple(reversed(stems)), branches)
+
+
+def immediate_dominators(netlist: Netlist) -> list[int | None]:
+    """Immediate dominator of every line on the way to the outputs.
+
+    The dominance graph is the line DAG extended with a virtual sink that
+    every primary output feeds; ``idom[l]`` is then the first line that
+    *every* path from ``l`` to an observable point must pass through.  The
+    returned list holds, per line: a line index (the immediate dominator),
+    ``netlist.n_gates`` (the virtual sink — paths converge only at the
+    outputs), or ``None`` for lines from which no output is reachable.
+
+    Cooper-Harvey-Kennedy intersection on a DAG needs a single reverse
+    sweep: every successor of ``l`` has a higher index (or is the sink), so
+    its dominator is final before ``l`` is processed.
+    """
+    n = netlist.n_gates
+    sink = n
+    fanouts = netlist.fanouts()
+    outputs = set(netlist.outputs)
+    # idom/depth indexed by line, with one extra slot for the sink.
+    idom: list[int | None] = [None] * (n + 1)
+    depth = [0] * (n + 1)
+    idom[sink] = sink
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            if depth[a] > depth[b]:
+                next_a = idom[a]
+                assert next_a is not None
+                a = next_a
+            else:
+                next_b = idom[b]
+                assert next_b is not None
+                b = next_b
+        return a
+
+    for line in range(n - 1, -1, -1):
+        successors = [succ for succ in fanouts[line] if idom[succ] is not None]
+        if line in outputs:
+            successors.append(sink)
+        if not successors:
+            continue  # dead line: reaches no output
+        dominator = successors[0]
+        for succ in successors[1:]:
+            dominator = intersect(dominator, succ)
+        idom[line] = dominator
+        depth[line] = depth[dominator] + 1
+    return idom[:n]

@@ -1,0 +1,145 @@
+"""SCOAP testability measures (Goldstein 1979) for gate-level netlists.
+
+Combinational controllabilities ``CC0``/``CC1`` estimate how many line
+assignments are needed to set a line to 0/1; combinational observability
+``CO`` estimates the effort to propagate a line's value to a primary
+output.  Low numbers mean easy; :data:`INFINITY` means impossible (a net
+that can never take the value, or whose value can never be observed).
+
+The measures are heuristic *guidance* — the implication engine in
+:mod:`repro.sca.implications` is what actually proves untestability — but
+they are the standard cost functions a deterministic ATPG (D-algorithm /
+PODEM backtrace) uses to order its decisions, and they make "hard to test"
+quantifiable in reports and lint findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gatelevel.netlist import GateType, Netlist
+
+__all__ = ["INFINITY", "ScoapMeasures", "compute_scoap"]
+
+#: Sentinel for "impossible": larger than any reachable finite measure but
+#: safe to add without overflow checks.
+INFINITY = 10**9
+
+
+def _sat(value: int) -> int:
+    """Saturating cap so sums of INFINITY never masquerade as finite."""
+    return value if value < INFINITY else INFINITY
+
+
+@dataclass(frozen=True)
+class ScoapMeasures:
+    """Per-line SCOAP triples; index with the line number."""
+
+    cc0: tuple[int, ...]
+    cc1: tuple[int, ...]
+    co: tuple[int, ...]
+
+    def controllability(self, line: int, value: int) -> int:
+        return self.cc1[line] if value else self.cc0[line]
+
+    def testability(self, line: int) -> int:
+        """Combined difficulty: observing either stuck-at on the line.
+
+        ``CO + max(CC0, CC1)`` — detecting sa0 needs the line at 1 and
+        observed, sa1 needs it at 0 and observed; the max covers the harder
+        of the two activations.
+        """
+        return _sat(self.co[line] + max(self.cc0[line], self.cc1[line]))
+
+
+def _xor_chain(
+    cc0: list[int], cc1: list[int], fanins: tuple[int, ...]
+) -> tuple[int, int]:
+    """(cost to even parity, cost to odd parity) over ``fanins``.
+
+    Dynamic program over the inputs: XOR output is 1 exactly when an odd
+    number of inputs are 1, so the cheapest assignment is tracked per
+    parity class.  Handles any arity.
+    """
+    even, odd = 0, INFINITY
+    for fanin in fanins:
+        new_even = min(_sat(even + cc0[fanin]), _sat(odd + cc1[fanin]))
+        new_odd = min(_sat(even + cc1[fanin]), _sat(odd + cc0[fanin]))
+        even, odd = new_even, new_odd
+    return even, odd
+
+
+def compute_scoap(netlist: Netlist) -> ScoapMeasures:
+    """SCOAP CC0/CC1/CO for every line of ``netlist``.
+
+    One forward sweep (controllability flows from inputs) and one reverse
+    sweep (observability flows from outputs), both in the netlist's native
+    topological order.
+    """
+    n = netlist.n_gates
+    cc0 = [INFINITY] * n
+    cc1 = [INFINITY] * n
+    for gate in netlist.gates:
+        kind = gate.kind
+        if kind is GateType.INPUT:
+            cc0[gate.index] = cc1[gate.index] = 1
+        elif kind is GateType.CONST0:
+            cc0[gate.index] = 1
+        elif kind is GateType.CONST1:
+            cc1[gate.index] = 1
+        elif kind is GateType.BUF:
+            cc0[gate.index] = _sat(cc0[gate.fanins[0]] + 1)
+            cc1[gate.index] = _sat(cc1[gate.fanins[0]] + 1)
+        elif kind is GateType.NOT:
+            cc0[gate.index] = _sat(cc1[gate.fanins[0]] + 1)
+            cc1[gate.index] = _sat(cc0[gate.fanins[0]] + 1)
+        elif kind in (GateType.AND, GateType.NAND):
+            all_ones = _sat(sum(cc1[f] for f in gate.fanins) + 1)
+            any_zero = _sat(min(cc0[f] for f in gate.fanins) + 1)
+            if kind is GateType.AND:
+                cc1[gate.index], cc0[gate.index] = all_ones, any_zero
+            else:
+                cc0[gate.index], cc1[gate.index] = all_ones, any_zero
+        elif kind in (GateType.OR, GateType.NOR):
+            all_zeros = _sat(sum(cc0[f] for f in gate.fanins) + 1)
+            any_one = _sat(min(cc1[f] for f in gate.fanins) + 1)
+            if kind is GateType.OR:
+                cc0[gate.index], cc1[gate.index] = all_zeros, any_one
+            else:
+                cc1[gate.index], cc0[gate.index] = all_zeros, any_one
+        else:  # XOR / XNOR
+            even, odd = _xor_chain(cc0, cc1, gate.fanins)
+            if kind is GateType.XOR:
+                cc0[gate.index] = _sat(even + 1)
+                cc1[gate.index] = _sat(odd + 1)
+            else:
+                cc0[gate.index] = _sat(odd + 1)
+                cc1[gate.index] = _sat(even + 1)
+
+    co = [INFINITY] * n
+    for line in netlist.outputs:
+        co[line] = 0
+    # Reverse sweep: a gate's output observability is final before any of
+    # its fanins (lower indices) are visited.
+    for gate in reversed(netlist.gates):
+        kind = gate.kind
+        if not gate.fanins:
+            continue
+        out_co = co[gate.index]
+        if kind in (GateType.BUF, GateType.NOT):
+            fanin = gate.fanins[0]
+            co[fanin] = min(co[fanin], _sat(out_co + 1))
+            continue
+        for pin, fanin in enumerate(gate.fanins):
+            side_cost = 0
+            for other_pin, other in enumerate(gate.fanins):
+                if other_pin == pin:
+                    continue
+                if kind in (GateType.AND, GateType.NAND):
+                    side_cost = _sat(side_cost + cc1[other])
+                elif kind in (GateType.OR, GateType.NOR):
+                    side_cost = _sat(side_cost + cc0[other])
+                else:  # XOR / XNOR: any known side value sensitizes
+                    side_cost = _sat(side_cost + min(cc0[other], cc1[other]))
+            co[fanin] = min(co[fanin], _sat(out_co + side_cost + 1))
+    return ScoapMeasures(tuple(cc0), tuple(cc1), tuple(co))

@@ -107,3 +107,37 @@ class TestNewSubcommands:
         out = capsys.readouterr().out
         assert "0.00% coverage" in out
         assert "at-speed pairs" in out
+
+class TestAnalyzeCommand:
+    def test_analyze_human_report(self, capsys):
+        assert main(["analyze", "lion"]) == 0
+        out = capsys.readouterr().out
+        assert "circuit        lion" in out
+        assert "representatives" in out
+        assert "hardest nets by SCOAP" in out
+
+    def test_analyze_json_payload_is_verified_and_valid(self, capsys):
+        import json as json_module
+
+        assert main(["analyze", "lion", "--format", "json"]) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-fsatpg-sca/1"
+        assert payload["circuit"] == "lion"
+        assert payload["verified"] is True
+        collapse = payload["collapse"]
+        assert collapse["faults"] >= collapse["representatives"] >= 1
+        assert collapse["ratio"] >= 1.0
+        assert "scoap" in payload
+
+    def test_analyze_no_scoap_trims_payload(self, capsys):
+        import json as json_module
+
+        assert main(["analyze", "lion", "--format", "json", "--no-scoap"]) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert "scoap" not in payload
+
+    def test_analyze_unknown_circuit_raises(self):
+        from repro.errors import BenchmarkError
+
+        with pytest.raises(BenchmarkError):
+            main(["analyze", "not-a-circuit"])

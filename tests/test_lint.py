@@ -328,6 +328,116 @@ def test_net006_skipped_for_bare_netlist():
     assert "NET006" not in analyze_netlist(clean_netlist()).fired_rules()
 
 
+def sca_blocked_netlist():
+    """NOT(c) cut off by a CONST0 side input: constants, dead cone, certs."""
+    net = Netlist("blocked")
+    a = net.add_input("a")                      # 0
+    c = net.add_input("c")                      # 1
+    d = net.add_gate(GateType.NOT, (c,))        # 2: unobservable
+    z = net.add_gate(GateType.CONST0, ())       # 3
+    g = net.add_gate(GateType.AND, (d, z))      # 4: provably constant 0
+    out = net.add_gate(GateType.OR, (g, a))     # 5
+    net.set_outputs([out])
+    return net
+
+
+def deep_netlist():
+    """Exponential CC1 growth: pathological SCOAP without any redundancy."""
+    net = Netlist("deep")
+    line = net.add_input("a")
+    for _ in range(12):
+        line = net.add_gate(GateType.AND, (line, line))
+    net.set_outputs([line])
+    return net
+
+
+def test_net007_fires_on_proven_constant_gate():
+    report = analyze_netlist(sca_blocked_netlist())
+    assert "NET007" in report.fired_rules()
+    findings = [d for d in report.diagnostics if d.rule_id == "NET007"]
+    assert any(d.location == "gate 4" for d in findings)
+    # The CONST0 generator itself is constant on purpose: never reported.
+    assert not any(d.location == "gate 3" for d in findings)
+    assert report.ok  # WARNING, not ERROR
+
+
+def test_net007_silent_on_clean_netlist():
+    assert "NET007" not in analyze_netlist(clean_netlist()).fired_rules()
+
+
+def test_net008_fires_on_unobservable_gate():
+    report = analyze_netlist(sca_blocked_netlist())
+    findings = [d for d in report.diagnostics if d.rule_id == "NET008"]
+    # The NOT gate (line 2) is live, non-constant, and provably blocked.
+    assert any(d.location == "gate 2" for d in findings)
+    # The blocked primary input is NET009's finding, not NET008's.
+    assert not any(d.location == "gate 1" for d in findings)
+
+
+def test_net008_silent_on_clean_netlist():
+    assert "NET008" not in analyze_netlist(clean_netlist()).fired_rules()
+
+
+def test_net009_fires_on_dead_input_cone():
+    report = analyze_netlist(sca_blocked_netlist())
+    findings = [d for d in report.diagnostics if d.rule_id == "NET009"]
+    assert any(d.location == "gate 1" for d in findings)
+
+
+def test_net009_silent_on_clean_netlist():
+    assert "NET009" not in analyze_netlist(clean_netlist()).fired_rules()
+
+
+def test_net010_summarizes_certified_redundancy():
+    report = analyze_netlist(sca_blocked_netlist())
+    findings = [d for d in report.diagnostics if d.rule_id == "NET010"]
+    assert len(findings) == 1  # one summary, not one per fault
+    assert findings[0].severity is Severity.INFO
+    assert "provably untestable" in findings[0].message
+
+
+def test_net010_silent_without_certificates():
+    assert "NET010" not in analyze_netlist(clean_netlist()).fired_rules()
+
+
+def test_net011_fires_on_pathological_scoap():
+    report = analyze_netlist(deep_netlist())
+    assert "NET011" in report.fired_rules()
+    assert report.ok  # INFO only
+
+
+def test_net011_silent_on_clean_netlist():
+    assert "NET011" not in analyze_netlist(clean_netlist()).fired_rules()
+    # ... and on a real benchmark netlist: the threshold sits above the
+    # corpus's worst finite testability on purpose.
+    scan = ScanCircuit.from_machine(
+        machine(TOGGLE_ROWS, name="toggle")
+    )
+    assert "NET011" not in analyze_netlist(scan).fired_rules()
+
+
+def test_sca_rules_stay_silent_on_broken_netlists():
+    # Structurally invalid netlists belong to the ERROR rules; the sca
+    # analyses must not crash the sweep or double-report.
+    net = clean_netlist()
+    net._gates[2] = Gate(2, GateType.AND, (0, 99))
+    report = analyze_netlist(net)
+    assert "NET002" in report.fired_rules()
+    assert not report.fired_rules() & {"NET007", "NET008", "NET009",
+                                       "NET010", "NET011"}
+
+
+def test_sca_rules_are_expensive_and_skip_preflight():
+    from repro.lint.registry import get_rule
+
+    for rule_id in ("NET007", "NET008", "NET009", "NET010", "NET011"):
+        rule = get_rule(rule_id)
+        assert rule.cost == "expensive"
+        assert rule.severity is not Severity.ERROR
+    # A netlist full of sca findings still passes the cheap preflight.
+    preflight_netlist(sca_blocked_netlist())
+
+
 def test_scc_helper_finds_components():
     # 0 -> 1 -> 2 -> 1 (cycle {1, 2}), 3 isolated.
     components = strongly_connected_components(4, [(1,), (2,), (1,), ()])
@@ -535,6 +645,28 @@ def test_sarif_document_shape(toggle_machine):
     assert "toggle" in result["locations"][0]["logicalLocations"][0][
         "fullyQualifiedName"
     ]
+
+
+def test_sarif_2_1_0_envelope_and_rule_metadata(toggle_machine):
+    from repro import __version__
+
+    toggle_machine.rows.append(KissRow("0", "off", "on", "1"))
+    report = analyze_machine(toggle_machine, name="toggle")
+    document = report.to_sarif()
+    assert document["$schema"].endswith("sarif-2.1.0.json")
+    run = document["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["version"] == __version__
+    assert driver["informationUri"].startswith("https://")
+    assert run["columnKind"] == "utf16CodeUnits"
+    rules = driver["rules"]
+    # Registered rules carry their default severity level.
+    by_id = {rule["id"]: rule for rule in rules}
+    assert by_id["FSM002"]["defaultConfiguration"] == {"level": "error"}
+    # Every result's ruleIndex points back at its own rule entry.
+    for result in run["results"]:
+        index = result["ruleIndex"]
+        assert rules[index]["id"] == result["ruleId"]
 
 
 def test_render_groups_by_artifact():

@@ -613,7 +613,8 @@ class TestCli:
     def test_cache_info_session_line(self, tmp_path, capsys):
         assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
-        assert "session   0 hit(s), 0 miss(es) (0.0% hit rate)" in out
+        # No lookups happened, so no hit rate is claimed (0/0 is not 0%).
+        assert "session   no lookups yet (hit rate n/a)" in out
 
     def test_global_verbose_routes_fuzz_progress(self, capsys):
         assert main(["-v", "fuzz", "--cases", "1"]) == 0
