@@ -56,7 +56,7 @@ import sys
 from typing import Callable, Sequence
 
 from repro.benchmarks import circuit_names, get_spec, load_circuit
-from repro.core.config import GeneratorConfig
+from repro.core.config import FAULT_SIM_ENGINES, FaultSimConfig, GeneratorConfig
 from repro.core.coverage import verify_test_set
 from repro.core.generator import generate_tests
 from repro.harness import experiments
@@ -89,6 +89,7 @@ def _options_from(args: argparse.Namespace) -> StudyOptions:
         config=_config_from(args),
         max_fanin=getattr(args, "max_fanin", 4),
         bridging_pair_limit=getattr(args, "bridging_limit", 500),
+        faultsim=FaultSimConfig(engine=getattr(args, "engine", "auto")),
     )
 
 
@@ -298,6 +299,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         argv += ["--cache-dir", args.cache_dir]
     if args.quick:
         argv.append("--quick")
+    if args.engine:
+        argv += ["--engine", args.engine]
     # Forward the global verbosity flags: bench re-resolves them itself.
     if args.quiet_global:
         argv.append("-q")
@@ -878,6 +881,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="gate fanin bound for synthesis (0 = unbounded)")
         p.add_argument("--bridging-limit", type=int, default=500,
                        help="max bridging line pairs (0 = unlimited)")
+        p.add_argument("--engine", default="auto", choices=FAULT_SIM_ENGINES,
+                       help="fault-sim engine: ppsfp (pattern-parallel "
+                       "tables), bigint (compiled parallel-fault), or auto "
+                       "dispatch per universe (default)")
         p.add_argument("--csv", action="store_true",
                        help="emit CSV instead of the fixed-width table")
         if with_circuit_list:
@@ -1022,6 +1029,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the parallel runs")
     bench.add_argument("--cache-dir", default=None, metavar="PATH",
                        help="cache directory for the cold/warm runs")
+    bench.add_argument("--engine", default=None, choices=FAULT_SIM_ENGINES,
+                       help="fault-sim engine for every bench run")
     bench.add_argument("--quick", action="store_true",
                        help="tiny circuit set for smoke runs")
     bench.add_argument("-o", "--output", default="BENCH_perf.json",

@@ -11,6 +11,9 @@ __all__ = [
     "GeneratorConfig",
     "FaultSimConfig",
     "DEFAULT_BATCH_BITS_CAP",
+    "DEFAULT_PPSFP_PATTERN_BLOCK",
+    "DEFAULT_PPSFP_CELL_BUDGET",
+    "FAULT_SIM_ENGINES",
     "adaptive_batch_bits",
 ]
 
@@ -19,17 +22,60 @@ __all__ = [
 #: arithmetic itself starts to dominate.
 DEFAULT_BATCH_BITS_CAP = 2048
 
+#: Upper bound on patterns evaluated per PPSFP sweep block (always a
+#: multiple of 64 — one uint64 lane holds 64 patterns).  Blocking the
+#: pattern axis bounds the working set of the table build; it never changes
+#: results because combinational patterns are independent.
+DEFAULT_PPSFP_PATTERN_BLOCK = 8192
 
-def adaptive_batch_bits(n_faults: int, cap: int = DEFAULT_BATCH_BITS_CAP) -> int:
-    """Batch width (bits) sized to the fault universe.
+#: Auto-dispatch budget on behavioral-table cells (``faults x patterns``).
+#: Above it the exhaustive PPSFP table build stops paying for itself (and
+#: starts costing real memory), so ``engine="auto"`` falls back to the
+#: big-int parallel-fault path.
+DEFAULT_PPSFP_CELL_BUDGET = 1 << 24
 
-    Small universes get exactly-sized words instead of paying for
-    ``cap``-bit arithmetic; universes above the cap are split into balanced
-    batches (``ceil(n / ceil(n / cap))``), so e.g. 2049 faults become two
-    ~1025-bit batches rather than a 2048-bit word plus a 1-bit straggler.
+#: Recognized fault-simulation engines.
+FAULT_SIM_ENGINES = ("auto", "ppsfp", "bigint")
+
+
+def adaptive_batch_bits(
+    n_faults: int,
+    cap: int | None = None,
+    *,
+    engine: str = "bigint",
+) -> int:
+    """Batch width (bits) sized to the universe, per engine.
+
+    ``engine="bigint"`` (the default) sizes big-int fault words: small
+    universes get exactly-sized words instead of paying for ``cap``-bit
+    arithmetic; universes above the cap are split into balanced batches
+    (``ceil(n / ceil(n / cap))``), so e.g. 2049 faults become two ~1025-bit
+    batches rather than a 2048-bit word plus a 1-bit straggler.
+
+    ``engine="ppsfp"`` sizes pattern blocks instead: ``n_faults`` is read
+    as a *pattern* count and the result is rounded up to a multiple of 64
+    (one uint64 lane holds 64 patterns), balanced the same way above the
+    cap.  The two axes are configured independently — see
+    :class:`FaultSimConfig`.
     """
+    if engine not in ("bigint", "ppsfp"):
+        raise FaultSimulationError(f"unknown fault-sim engine {engine!r}")
+    if cap is None:
+        cap = (
+            DEFAULT_PPSFP_PATTERN_BLOCK
+            if engine == "ppsfp"
+            else DEFAULT_BATCH_BITS_CAP
+        )
     if cap < 1:
         raise FaultSimulationError("batch bit cap must be >= 1")
+    if engine == "ppsfp":
+        # Lane-align both the cap and the result: a partial uint64 lane
+        # costs the same as a full one.
+        cap = max(64, (cap // 64) * 64)
+        if n_faults <= cap:
+            return max(64, -(-n_faults // 64) * 64)
+        n_batches = -(-n_faults // cap)
+        return -(-(-(-n_faults // n_batches)) // 64) * 64
     if n_faults <= cap:
         return max(1, n_faults)
     n_batches = -(-n_faults // cap)
@@ -38,22 +84,81 @@ def adaptive_batch_bits(n_faults: int, cap: int = DEFAULT_BATCH_BITS_CAP) -> int
 
 @dataclass(frozen=True)
 class FaultSimConfig:
-    """Knobs of the bit-parallel fault simulator.
+    """Knobs of the bit-parallel fault simulators.
 
-    ``max_batch_bits`` caps the number of faults packed into one big-int
-    word; the actual width adapts downward to the universe size
-    (:func:`adaptive_batch_bits`).
+    ``engine`` selects the packing axis: ``"bigint"`` packs *faults* as
+    bits of one arbitrary-precision word and walks the test cycle by cycle;
+    ``"ppsfp"`` packs *patterns* 64 per uint64 lane, builds each fault's
+    complete behavioral table in one exhaustive sweep, and replays tests as
+    table lookups.  ``"auto"`` (the default) picks per universe from the
+    pattern-space size and fault count (:meth:`select_engine`) — the choice
+    only ever affects speed, never results.
+
+    ``max_batch_bits`` caps faults per big-int word (bigint axis);
+    ``ppsfp_pattern_block`` caps patterns per sweep block (ppsfp axis,
+    multiples of 64).  The two caps are independent knobs of independent
+    engines.
     """
 
+    engine: str = "auto"
     max_batch_bits: int = DEFAULT_BATCH_BITS_CAP
+    ppsfp_pattern_block: int = DEFAULT_PPSFP_PATTERN_BLOCK
+    ppsfp_cell_budget: int = DEFAULT_PPSFP_CELL_BUDGET
 
     def __post_init__(self) -> None:
+        if self.engine not in FAULT_SIM_ENGINES:
+            raise FaultSimulationError(
+                f"unknown fault-sim engine {self.engine!r}; "
+                f"expected one of {', '.join(FAULT_SIM_ENGINES)}"
+            )
         if self.max_batch_bits < 1:
             raise FaultSimulationError("max_batch_bits must be >= 1")
+        if self.ppsfp_pattern_block < 64:
+            raise FaultSimulationError("ppsfp_pattern_block must be >= 64")
+        if self.ppsfp_pattern_block % 64:
+            raise FaultSimulationError(
+                "ppsfp_pattern_block must be a multiple of 64"
+            )
+        if self.ppsfp_cell_budget < 1:
+            raise FaultSimulationError("ppsfp_cell_budget must be >= 1")
 
     def resolved_batch_bits(self, n_faults: int) -> int:
-        """The effective batch width for a universe of ``n_faults``."""
+        """The effective big-int batch width for ``n_faults`` faults."""
         return adaptive_batch_bits(n_faults, self.max_batch_bits)
+
+    def resolved_pattern_block(self, n_patterns: int) -> int:
+        """The effective PPSFP pattern-block width for ``n_patterns``."""
+        return adaptive_batch_bits(
+            n_patterns, self.ppsfp_pattern_block, engine="ppsfp"
+        )
+
+    def select_engine(
+        self,
+        n_faults: int,
+        n_pattern_bits: int,
+        total_test_cycles: int | None = None,
+    ) -> str:
+        """Resolve ``"auto"`` to a concrete engine for one universe.
+
+        The heuristic compares the PPSFP table-build footprint
+        (``faults x 2**pattern_bits`` cells) against the cell budget, and —
+        when the caller knows the workload — against the big-int path's
+        cycle count: a table whose pattern axis dwarfs the total number of
+        simulated clock cycles would cost more to build than the big-int
+        simulation it replaces.  Forced engines pass through unchanged.
+        """
+        if self.engine != "auto":
+            return self.engine
+        if n_faults == 0:
+            return "ppsfp"
+        n_patterns = 1 << n_pattern_bits
+        if n_faults * n_patterns > self.ppsfp_cell_budget:
+            return "bigint"
+        if total_test_cycles is not None:
+            pattern_words = max(1, n_patterns // 64)
+            if pattern_words > max(64, 4 * total_test_cycles):
+                return "bigint"
+        return "ppsfp"
 
 
 @dataclass(frozen=True)

@@ -18,6 +18,7 @@ Registered oracles
 ``coverage-chaining``   chained tests cover ⊇ the per-transition baseline
 ``kiss-roundtrip``      table → KISS2 text → table is the identity
 ``sim-equivalence``     interpreted vs compiled fault-simulator detect masks
+``sim-ppsfp-vs-bigint`` PPSFP table engine vs compiled big-int detect masks
 ``scan-vs-nonscan``     scan-test detection re-derived via the non-scan path
 ``synthesis-replay``    gate-level scan circuit replays equal table replays
 ``cache-replay``        warm artifact-cache replays bit-identical to cold runs
@@ -44,6 +45,7 @@ from repro.fsm.state_table import StateTable
 from repro.fuzz.generators import Fault, MachineSpec, random_gate_faults
 from repro.gatelevel.compiled import CompiledFaultSimulator
 from repro.gatelevel.fault_sim import detects as interpreted_detects
+from repro.gatelevel.ppsfp import PpsfpSimulator
 from repro.gatelevel.scan import ScanCircuit
 from repro.gatelevel.synthesis import SynthesisOptions
 from repro.nonscan.simulate import sequence_detects
@@ -83,7 +85,7 @@ class FuzzCase:
 
     Oracles share expensive intermediates (generated tests, the synthesized
     scan circuit, the gate-level fault universe) through this object so that
-    running all seven oracles on a case costs little more than running the
+    running every registered oracle on a case costs little more than the
     most expensive one.  Derived randomness (fault samples) is seeded from
     the *table contents*, not the case name, so a machine fails identically
     whether it arrives from the generator, the corpus, or the shrinker.
@@ -302,6 +304,41 @@ def _sim_equivalence(case: FuzzCase) -> None:
             raise OracleFailure(
                 f"test {test} masks diverge: compiled-only={only_compiled} "
                 f"interpreted-only={only_interpreted}"
+            )
+
+
+@_oracle(
+    "sim-ppsfp-vs-bigint",
+    "PPSFP behavioral-table engine produces bit-identical masks to big-int",
+)
+def _sim_ppsfp_vs_bigint(case: FuzzCase) -> None:
+    _gate_level_case(case)
+    table = case.table
+    circuit = case.scan_circuit()
+    faults = case.gate_faults()
+    _require(bool(faults), "empty gate-level fault universe")
+    ppsfp = PpsfpSimulator(circuit, table, faults)
+    bigint = CompiledFaultSimulator(circuit, table, faults)
+    tests = list(case.generation().test_set)[:_GATE_MAX_TESTS]
+    batched = ppsfp.detect_masks(tests)
+    for position, test in enumerate(tests):
+        left = ppsfp.detect_mask(test)
+        right = bigint.detect_mask(test)
+        if left != right:
+            delta = left ^ right
+            sites = [
+                faults[bit].site()
+                for bit in range(len(faults))
+                if delta >> bit & 1
+            ]
+            raise OracleFailure(
+                f"test {test} masks diverge on {sites[:4]} "
+                f"(ppsfp={left:#x} bigint={right:#x})"
+            )
+        if batched[position] != left:
+            raise OracleFailure(
+                f"test {test}: batched PPSFP mask {batched[position]:#x} "
+                f"differs from the per-test mask {left:#x}"
             )
 
 

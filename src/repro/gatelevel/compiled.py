@@ -169,10 +169,14 @@ class CompiledFaultSimulator:
                 forced = store.get(gate.index)
                 if forced:
                     so, sz = forced
+                    # Parenthesize the whole expression first: inverting
+                    # gates generate a trailing `^ mask`, and `&` binds
+                    # tighter than `^`, so an unwrapped `... ^ m & z` would
+                    # mask the literal instead of the gate value.
                     if so:
-                        expression = f"({expression} | {so})"
+                        expression = f"(({expression}) | {so})"
                     if sz:
-                        expression = f"({expression} & {ones ^ sz})"
+                        expression = f"(({expression}) & {ones ^ sz})"
                 if apply_bridges and gate.index in bridges:
                     total = 0
                     for mask, _partner, _is_and in bridges[gate.index]:
@@ -256,6 +260,12 @@ class CompiledFaultSimulator:
             good_bit = ones if bit else 0
             detected |= state_words[j] ^ good_bit
         return detected & ones
+
+    def detect_masks(self, tests: Sequence[ScanTest]) -> list[int]:
+        """Detection masks for many tests (API parity with the PPSFP
+        engine, which vectorizes this; here the tests are independent
+        big-int runs)."""
+        return [self.detect_mask(test) for test in tests]
 
     def detects(self, test: ScanTest) -> frozenset[Fault]:
         """The set of universe faults ``test`` detects."""

@@ -1,0 +1,70 @@
+"""Engine dispatch for fault simulation.
+
+One factory, :func:`make_fault_simulator`, resolves a
+:class:`repro.core.config.FaultSimConfig` engine choice into a concrete
+simulator: the PPSFP behavioral-table engine
+(:class:`repro.gatelevel.ppsfp.PpsfpSimulator`) or the compiled big-int
+parallel-fault engine
+(:class:`repro.gatelevel.compiled.CompiledFaultSimulator`).  Both expose
+``detect_mask`` / ``detect_masks`` / ``detects`` /
+``make_effective_simulator`` over the same fault-bit order, and produce
+bit-identical masks — the dispatch decision only ever affects speed.
+
+The module exists so call sites (harness selections, the perf engine, the
+fuzz oracle) need neither import both engines nor re-implement the
+``auto`` heuristic; it imports only the two engines and the config, which
+keeps the package free of import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.core.config import FaultSimConfig
+from repro.fsm.state_table import StateTable
+from repro.gatelevel.compiled import CompiledFaultSimulator
+from repro.gatelevel.ppsfp import PpsfpSimulator
+from repro.gatelevel.scan import ScanCircuit
+from repro.gatelevel.stuck_at import StuckAtFault
+from repro.gatelevel.bridging import BridgingFault
+
+__all__ = ["make_fault_simulator", "FaultSimulator"]
+
+Fault = Union[StuckAtFault, BridgingFault]
+FaultSimulator = Union[PpsfpSimulator, CompiledFaultSimulator]
+
+
+def make_fault_simulator(
+    circuit: ScanCircuit,
+    table: StateTable,
+    faults: Sequence[Fault],
+    config: FaultSimConfig | None = None,
+    *,
+    total_test_cycles: int | None = None,
+) -> FaultSimulator:
+    """Build the fault simulator ``config`` selects for this universe.
+
+    ``total_test_cycles`` — when the caller already knows how many clock
+    cycles it is about to simulate (sum of test lengths x expected passes)
+    — lets the ``auto`` heuristic reject a PPSFP table build that would
+    cost more than the big-int simulation it replaces.
+
+    An *empty* universe always gets the PPSFP engine (the compiled engine
+    rejects empty universes; PPSFP returns mask 0 for every test), so
+    callers can treat "nothing to simulate" uniformly.
+    """
+    config = config or FaultSimConfig()
+    engine = config.select_engine(
+        len(faults),
+        circuit.n_state_variables + circuit.n_primary_inputs,
+        total_test_cycles,
+    )
+    if not faults:
+        return PpsfpSimulator(circuit, table, faults, config)
+    if engine == "ppsfp":
+        if config.engine == "auto" and circuit.n_primary_outputs > 32:
+            # PPSFP tables hold output combos in uint32 cells; auto never
+            # picks an engine that would refuse the circuit.
+            return CompiledFaultSimulator(circuit, table, faults)
+        return PpsfpSimulator(circuit, table, faults, config)
+    return CompiledFaultSimulator(circuit, table, faults)

@@ -22,11 +22,11 @@ from typing import Sequence
 from repro.benchmarks import circuit_names, get_spec, load_circuit, load_kiss_machine
 from repro.benchmarks.paper_data import PAPER_TABLE8, PAPER_TABLE9
 from repro.core.compaction import EffectiveSelection, select_effective_tests
-from repro.core.config import GeneratorConfig
+from repro.core.config import FaultSimConfig, GeneratorConfig
 from repro.core.generator import GenerationResult, generate_tests
 from repro.core.testset import baseline_clock_cycles
 from repro.gatelevel.bridging import BridgingFault, enumerate_bridging_faults
-from repro.gatelevel.compiled import CompiledFaultSimulator
+from repro.gatelevel.dispatch import make_fault_simulator
 from repro.gatelevel.scan import ScanCircuit
 from repro.gatelevel.stuck_at import StuckAtFault
 from repro.gatelevel.synthesis import SynthesisOptions
@@ -74,6 +74,7 @@ class StudyOptions:
     config: GeneratorConfig = field(default_factory=GeneratorConfig)
     max_fanin: int | None = 4
     bridging_pair_limit: int | None = 500
+    faultsim: FaultSimConfig = field(default_factory=FaultSimConfig)
 
     @property
     def synthesis(self) -> SynthesisOptions:
@@ -177,8 +178,9 @@ class CircuitStudy:
             "faultsim.select", circuit=self.name, model="stuck_at",
             n_faults=len(live),
         ):
-            simulator = CompiledFaultSimulator(
-                self.scan_circuit, self.table, live
+            simulator = make_fault_simulator(
+                self.scan_circuit, self.table, live, self.options.faultsim,
+                total_test_cycles=self.generation.total_length,
             )
             return select_effective_tests(
                 self.generation.test_set,
@@ -225,8 +227,10 @@ class CircuitStudy:
             "faultsim.select", circuit=self.name, model="bridging",
             n_faults=len(self.bridging_faults),
         ):
-            simulator = CompiledFaultSimulator(
-                self.scan_circuit, self.table, self.bridging_faults
+            simulator = make_fault_simulator(
+                self.scan_circuit, self.table, self.bridging_faults,
+                self.options.faultsim,
+                total_test_cycles=self.generation.total_length,
             )
             return select_effective_tests(
                 self.generation.test_set,

@@ -85,12 +85,14 @@ class RegressionReport:
 
 
 def options_from_baseline(baseline: Mapping[str, Any]) -> Any:
-    """Rebuild the :class:`StudyOptions` a /3 baseline was measured with.
+    """Rebuild the :class:`StudyOptions` a /3+ baseline was measured with.
 
-    Older baselines (schema /2, no ``options`` block) fall back to the
-    defaults — the caller should surface that in the report notes.
+    Schema /4 baselines record the fault-sim ``engine`` too, so the rerun
+    dispatches exactly as the baseline did.  Older baselines (schema /2,
+    no ``options`` block) fall back to the defaults — the caller should
+    surface that in the report notes.
     """
-    from repro.core.config import GeneratorConfig
+    from repro.core.config import FaultSimConfig, GeneratorConfig
     from repro.harness.experiments import StudyOptions
 
     block = baseline.get("options")
@@ -106,6 +108,7 @@ def options_from_baseline(baseline: Mapping[str, Any]) -> Any:
         config=config,
         max_fanin=block.get("max_fanin", 4),
         bridging_pair_limit=block.get("bridging_pair_limit", 500),
+        faultsim=FaultSimConfig(engine=block.get("engine", "auto")),
     )
 
 
@@ -239,6 +242,6 @@ def run_regress(
     if "options" not in baseline:
         report.notes.append("baseline has no options block: defaults assumed")
     schema = baseline.get("schema")
-    if schema != "repro-fsatpg-bench/3":
-        report.notes.append(f"baseline schema {schema!r} (current is /3)")
+    if schema != "repro-fsatpg-bench/4":
+        report.notes.append(f"baseline schema {schema!r} (current is /4)")
     return report, 0 if report.ok else 1

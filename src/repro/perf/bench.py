@@ -32,7 +32,7 @@ from __future__ import annotations
 import argparse
 import json
 import time
-from dataclasses import asdict
+from dataclasses import asdict, replace
 from pathlib import Path
 from typing import Any, Sequence
 
@@ -47,7 +47,10 @@ __all__ = ["BENCH_SCHEMA", "default_bench_circuits", "run_bench", "main"]
 #: /3 adds the per-circuit ``results`` block (scalar test/coverage
 #: summaries) and the ``options`` block so ``repro-fsatpg regress`` can
 #: reproduce the exact workload the baseline measured.
-BENCH_SCHEMA = "repro-fsatpg-bench/3"
+#: /4 adds ``stage_speedups`` (per-stage serial/parallel ratios for the
+#: cold and warm runs) and records the fault-sim ``engine`` under
+#: ``options`` so regressions pin the engine the baseline measured.
+BENCH_SCHEMA = "repro-fsatpg-bench/4"
 
 #: Circuits for ``--quick`` (CI smoke): small machines with non-trivial
 #: bridging universes, a few seconds per run.
@@ -76,6 +79,22 @@ def _run(
     return artifacts, record
 
 
+def _stage_speedups(
+    serial_record: dict[str, Any], candidate_record: dict[str, Any]
+) -> dict[str, float]:
+    """Serial/candidate wall ratio per pipeline stage (>1 means faster)."""
+    serial_stages = serial_record.get("stage_seconds", {})
+    candidate_stages = candidate_record.get("stage_seconds", {})
+    return {
+        stage: (
+            seconds / candidate_stages[stage]
+            if candidate_stages.get(stage)
+            else 0.0
+        )
+        for stage, seconds in serial_stages.items()
+    }
+
+
 def _compare(
     reference: dict[str, StudyArtifacts],
     candidate: dict[str, StudyArtifacts],
@@ -98,12 +117,20 @@ def run_bench(
     cache_root: str | Path | None = None,
     quick: bool = False,
     options: Any = None,
+    engine: str | None = None,
 ) -> dict[str, Any]:
-    """Serial-cold vs parallel-cold vs parallel-warm; returns the report."""
+    """Serial-cold vs parallel-cold vs parallel-warm; returns the report.
+
+    ``engine`` overrides the fault-sim engine (``auto``/``ppsfp``/
+    ``bigint``) for every run; ``None`` keeps whatever ``options`` carries.
+    """
+    from repro.core.config import FaultSimConfig
     from repro.harness.experiments import StudyOptions
 
     names = tuple(circuits) if circuits else default_bench_circuits(quick)
     options = options or StudyOptions()
+    if engine is not None:
+        options = replace(options, faultsim=FaultSimConfig(engine=engine))
     root = (
         Path(cache_root).expanduser()
         if cache_root is not None
@@ -137,6 +164,7 @@ def run_bench(
         "config": asdict(options.config),
         "max_fanin": options.max_fanin,
         "bridging_pair_limit": options.bridging_pair_limit,
+        "engine": options.faultsim.engine,
     }
     report = {
         "schema": BENCH_SCHEMA,
@@ -154,6 +182,10 @@ def run_bench(
         "speedup_parallel_warm": (
             serial_wall / warm_record["wall_s"] if warm_record["wall_s"] else 0.0
         ),
+        "stage_speedups": {
+            "parallel_cold": _stage_speedups(serial_record, cold_record),
+            "parallel_warm": _stage_speedups(serial_record, warm_record),
+        },
         "observability": {
             "disabled_wall_s": serial_wall,
             "enabled_wall_s": observed_record["wall_s"],
@@ -205,6 +237,14 @@ def _summarize(report: dict[str, Any]) -> str:
         f"  speedup cold {report['speedup_parallel_cold']:.2f}x, "
         f"warm {report['speedup_parallel_warm']:.2f}x"
     )
+    cold_stages = report.get("stage_speedups", {}).get("parallel_cold", {})
+    if cold_stages:
+        lines.append(
+            "  stage speedups (cold) "
+            + ", ".join(
+                f"{stage} {ratio:.2f}x" for stage, ratio in cold_stages.items()
+            )
+        )
     observability = report["observability"]
     lines.append(
         f"  observability  {observability['enabled_wall_s']:8.2f}s enabled "
@@ -234,6 +274,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                         "(default: <cache>/bench; cleared before the cold run)")
     parser.add_argument("--quick", action="store_true",
                         help="tiny circuit set for CI smoke runs")
+    parser.add_argument("--engine", default=None,
+                        choices=("auto", "ppsfp", "bigint"),
+                        help="fault-sim engine for every run "
+                        "(default: auto-dispatch per universe)")
     parser.add_argument("-o", "--output", default="BENCH_perf.json",
                         help="report path ('-' prints JSON to stdout)")
     parser.add_argument("-v", "--verbose", action="count", default=0,
@@ -249,7 +293,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     ) or None
     report = run_bench(
         circuits, jobs=max(1, args.jobs), cache_root=args.cache_dir,
-        quick=args.quick,
+        quick=args.quick, engine=args.engine,
     )
     text = json.dumps(report, indent=2, sort_keys=False)
     if args.output == "-":

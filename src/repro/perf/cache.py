@@ -63,7 +63,9 @@ ARTIFACT_VERSIONS: dict[str, int] = {
     "uio": 1,
     "synthesis": 1,
     "detectability": 1,
-    "simulator-source": 1,
+    # 2: stuck-at store forces are parenthesized before masking (inverting
+    # gates mis-injected output stuck-at-0 under the old precedence).
+    "simulator-source": 2,
     "sca": 1,
 }
 

@@ -7,44 +7,50 @@ The engine decomposes the per-circuit pipeline into three phases:
    detectability oracle.  The artifact cache serves UIO tables, synthesized
    circuits, and detectability partitions across runs.
 2. **Simulate** (one task per fault chunk): every (circuit, fault model)
-   universe is split into chunks; each task compiles a fault simulator for
-   its chunk and produces one detection mask per test.  Chunking is sound
-   because detection of a fault never depends on which other faults share
-   the batch word — each bit is its own machine (see
-   :mod:`repro.gatelevel.compiled`).
+   universe is split into engine-aware chunks (one whole-universe chunk for
+   PPSFP, adaptive big-int batches otherwise); each task builds the
+   dispatched fault simulator for its chunk and produces one detection mask
+   per test.  Chunking is sound because detection of a fault never depends
+   on which other faults share the batch — each bit/row is its own machine
+   (see :mod:`repro.gatelevel.compiled`, :mod:`repro.gatelevel.ppsfp`).
 3. **Select** (main process): chunk masks are merged into per-test detected
    sets, and :func:`~repro.core.compaction.select_effective_tests` replays
    the paper's longest-first effective-test selection against them.
 
+Parallel phases run on the **persistent worker pool**
+(:mod:`repro.perf.pool`): workers are forked once per process and reused
+across phases and sweeps; each phase primes them with one shared read-only
+snapshot and then sends index-only task messages, so no per-task artifact
+pickling happens at all.
+
 Because phase 3 feeds the selection exactly the sets a full-universe
 simulator would have produced, the engine's results are **bit-identical** to
 the serial :class:`~repro.harness.experiments.CircuitStudy` path for any
-``jobs`` value — ``jobs=1`` simply runs the same staged code inline, and a
-pool that cannot be created (restricted environments) degrades to the same
-serial path.  Result ordering is deterministic: the returned mapping follows
-the caller's circuit order.
+``jobs`` value — ``jobs=1`` runs the very same task functions inline, and a
+machine where workers cannot be forked degrades to the same inline path.
+Result ordering is deterministic: the returned mapping follows the caller's
+circuit order.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.benchmarks import load_circuit, load_kiss_machine
 from repro.core.compaction import EffectiveSelection, select_effective_tests
-from repro.core.config import adaptive_batch_bits
+from repro.core.config import FaultSimConfig
 from repro.core.generator import GenerationResult, generate_tests
 from repro.core.testset import ScanTest
 from repro.fsm.state_table import StateTable
 from repro.gatelevel.bridging import enumerate_bridging_faults
-from repro.gatelevel.compiled import CompiledFaultSimulator
+from repro.gatelevel.dispatch import make_fault_simulator
+from repro.gatelevel.ppsfp import PpsfpSimulator
 from repro.gatelevel.scan import ScanCircuit
 from repro.harness.runtime import StageTimings, stopwatch
 from repro.obs import (
     ObsSnapshot,
     absorb_snapshot,
-    enable_in_worker,
     is_active,
     worker_snapshot,
 )
@@ -58,7 +64,8 @@ from repro.perf.artifacts import (
     cached_sca,
     cached_uio_table,
 )
-from repro.perf.cache import ArtifactCache, active_cache, set_active_cache
+from repro.perf.cache import active_cache
+from repro.perf.pool import get_pool
 from repro.uio.search import UioTable
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a module cycle
@@ -198,8 +205,10 @@ class _CircuitPrep:
     stuck_at_proven: frozenset[Fault] = frozenset()
 
 
-def _prepare_circuit(payload: tuple[str, "StudyOptions", str]) -> _CircuitPrep:
-    name, options, scope = payload
+def _prepare_task(snapshot: dict[str, Any], index: int) -> _CircuitPrep:
+    """Phase-1 task: fully prepare circuit ``snapshot["names"][index]``."""
+    name = snapshot["names"][index]
+    options, scope = snapshot["options"], snapshot["scope"]
     with trace_span("circuit.prepare", circuit=name, scope=scope):
         prep = _prepare_circuit_stages(name, options, scope)
     prep.obs = worker_snapshot()
@@ -269,23 +278,33 @@ def _prepare_circuit_stages(
 # -------------------------------------------------------- phase 2: simulate
 
 
-def _simulate_chunk(
-    payload: tuple[str, ScanCircuit, StateTable, tuple[ScanTest, ...], list[Fault]],
+def _simulate_task(
+    snapshot: dict[str, Any], index: int
 ) -> tuple[list[int], StageTimings, ObsSnapshot | None]:
-    """Detection mask per test for one fault chunk of one circuit."""
-    name, scan, table, tests, chunk = payload
+    """Detection mask per test for one fault chunk of one circuit.
+
+    ``snapshot`` is the phase-primed artifact snapshot (see
+    :func:`_run_phase`); ``index`` picks the chunk — the whole task message
+    is just that integer.
+    """
+    name, chunk = snapshot["chunks"][index]
+    scan, table, tests = snapshot["circuits"][name]
+    faultsim: FaultSimConfig = snapshot["faultsim"]
     timings = StageTimings()
     cache = active_cache()
     hits = cache.hits if cache is not None else 0
     misses = cache.misses if cache is not None else 0
+    total_cycles = sum(len(test.inputs) for test in tests)
     with trace_span(
         "sweep.chunk", circuit=name, n_faults=len(chunk), n_tests=len(tests)
     ):
         with stopwatch() as clock:
-            simulator = CompiledFaultSimulator(scan, table, chunk)
-            masks = [simulator.detect_mask(test) for test in tests]
+            simulator = make_fault_simulator(
+                scan, table, chunk, faultsim, total_test_cycles=total_cycles
+            )
+            masks = simulator.detect_masks(tests)
         timings.add(name, STAGE_FAULT_SIM, clock.elapsed_s)
-        _report_chunk(chunk, masks)
+        _report_chunk(chunk, masks, isinstance(simulator, PpsfpSimulator))
     if cache is not None:
         # The only cache traffic here is the compiled simulator source.
         timings.cache_hits += cache.hits - hits
@@ -293,13 +312,14 @@ def _simulate_chunk(
     return masks, timings, worker_snapshot()
 
 
-def _report_chunk(chunk: list[Fault], masks: list[int]) -> None:
+def _report_chunk(chunk: list[Fault], masks: list[int], ppsfp: bool) -> None:
     """Fold one chunk's fault-sim effort into the metrics registry.
 
-    A chunk is one batch of the compiled simulator, so it reports into the
-    same ``faultsim.*`` family as the interpreted batch simulator
+    A chunk is one batch of the dispatched simulator, so it reports into
+    the same ``faultsim.*`` family as the interpreted batch simulator
     (:mod:`repro.gatelevel.fault_sim`): ``detected`` counts distinct faults
-    some test caught, ``compiled_calls`` counts per-test mask evaluations.
+    some test caught; per-test mask evaluations are counted per engine
+    (``faultsim.ppsfp.calls`` / ``faultsim.compiled_calls``).
     """
     from repro.obs.metrics import current_registry
 
@@ -310,26 +330,36 @@ def _report_chunk(chunk: list[Fault], masks: list[int]) -> None:
     for mask in masks:
         union |= mask
     registry.counter("faultsim.batches").add(1)
-    registry.counter("faultsim.compiled_calls").add(len(masks))
+    calls = "faultsim.ppsfp.calls" if ppsfp else "faultsim.compiled_calls"
+    registry.counter(calls).add(len(masks))
     registry.counter("faultsim.faults_simulated").add(len(chunk))
     registry.counter("faultsim.detected").add(union.bit_count())
     registry.histogram("faultsim.batch_detected").observe(union.bit_count())
 
 
-def _fault_chunks(faults: list[Fault], jobs: int) -> list[list[Fault]]:
-    """Balanced chunks of at most one adaptive batch word each.
+def _fault_chunks(
+    faults: list[Fault],
+    faultsim: FaultSimConfig,
+    n_pattern_bits: int,
+    total_test_cycles: int,
+) -> list[list[Fault]]:
+    """Engine-aware chunks of one (circuit, fault model) universe.
 
-    With ``jobs > 1`` the chunk size additionally shrinks toward
-    ``n / jobs`` (floor 64 faults) so a single large circuit still spreads
-    across the pool.  Chunk boundaries never affect results — only wall
-    clock — because per-fault detection is batch-independent.
+    The PPSFP engine amortizes one exhaustive table build across the whole
+    universe, so it gets a single chunk; the big-int engine gets balanced
+    adaptive batch words.  Chunk boundaries are jobs-invariant — the
+    persistent pool load-balances chunks dynamically instead of shrinking
+    them per worker (which used to recompile the same circuit once per
+    worker and made parallel runs *slower* than serial).  Boundaries never
+    affect results — per-fault detection is batch-independent.
     """
     n = len(faults)
     if n == 0:
         return []
-    size = adaptive_batch_bits(n)
-    if jobs > 1:
-        size = min(size, max(64, -(-n // jobs)))
+    engine = faultsim.select_engine(n, n_pattern_bits, total_test_cycles)
+    if engine == "ppsfp":
+        return [faults]
+    size = faultsim.resolved_batch_bits(n)
     return [faults[start : start + size] for start in range(0, n, size)]
 
 
@@ -371,30 +401,28 @@ def _select_from_masks(
 # ------------------------------------------------------------ the scheduler
 
 
-def _worker_init(cache_root: str | None, obs_on: bool = False) -> None:
-    set_active_cache(ArtifactCache(cache_root) if cache_root else None)
-    if obs_on:
-        enable_in_worker()
-
-
-def _pool_map(
-    jobs: int, function: Callable[[Any], Any], payloads: Sequence[Any]
+def _run_phase(
+    jobs: int,
+    function: Callable[[Any, int], Any],
+    snapshot: dict[str, Any],
+    n_tasks: int,
 ) -> list[Any]:
-    """``map`` across a process pool, preserving order; serial fallback."""
-    if jobs <= 1 or len(payloads) <= 1:
-        return [function(payload) for payload in payloads]
+    """One engine phase: ``function(snapshot, i)`` for every task index.
+
+    With ``jobs > 1`` the persistent pool is primed once with ``snapshot``
+    and receives index-only task messages; otherwise — and whenever the
+    pool cannot be created — the exact same task function runs inline, so
+    every path produces identical results.
+    """
+    if jobs <= 1 or n_tasks <= 1:
+        return [function(snapshot, index) for index in range(n_tasks)]
+    pool = get_pool(jobs)
+    if pool is None:
+        return [function(snapshot, index) for index in range(n_tasks)]
     cache = active_cache()
     root = str(cache.root) if cache is not None else None
-    try:
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(payloads)),
-            initializer=_worker_init,
-            initargs=(root, is_active()),
-        ) as pool:
-            return list(pool.map(function, payloads))
-    except (OSError, PermissionError):
-        # Pool creation unavailable (e.g. sandboxed /dev/shm): run inline.
-        return [function(payload) for payload in payloads]
+    pool.prime(snapshot, cache_root=root, obs_on=is_active())
+    return pool.run(function, n_tasks)
 
 
 def compute_studies(
@@ -427,8 +455,11 @@ def compute_studies(
     # inline execution (jobs=1 / pool fallback) yields None snapshots because
     # those spans already live in the parent's log.
     with trace_span("sweep.prepare", circuits=len(names), jobs=jobs):
-        preps: list[_CircuitPrep] = _pool_map(
-            jobs, _prepare_circuit, [(name, options, scope) for name in names]
+        prepare_snapshot = {
+            "names": names, "options": options, "scope": scope,
+        }
+        preps: list[_CircuitPrep] = _run_phase(
+            jobs, _prepare_task, prepare_snapshot, len(names)
         )
         for prep in preps:
             absorb_snapshot(prep.obs)
@@ -443,11 +474,17 @@ def compute_studies(
             )
         return artifacts_fn
 
-    sim_payloads: list[tuple] = []
+    faultsim = options.faultsim
+    sim_chunks: list[tuple[str, list[Fault]]] = []
+    sim_circuits: dict[str, tuple[ScanCircuit, StateTable, tuple[ScanTest, ...]]] = {}
     chunk_index: dict[tuple[str, str], list[int]] = {}
     chunk_lists: dict[tuple[str, str], list[list[Fault]]] = {}
     for prep in preps:
         table = load_circuit(prep.name)
+        scan = prep.scan_circuit
+        sim_circuits[prep.name] = (scan, table, prep.tests)
+        pattern_bits = scan.n_state_variables + scan.n_primary_inputs
+        total_cycles = sum(len(test.inputs) for test in prep.tests)
         for model, faults in (
             ("stuck_at", prep.stuck_at_faults or []),
             ("bridging", prep.bridging_faults or []),
@@ -456,19 +493,22 @@ def compute_studies(
                 # Certificate-proved faults are already in the undetectable
                 # bin; simulating them would only burn fault-sim cycles.
                 faults = [f for f in faults if f not in prep.stuck_at_proven]
-            chunks = _fault_chunks(faults, jobs)
+            chunks = _fault_chunks(faults, faultsim, pattern_bits, total_cycles)
             chunk_lists[(prep.name, model)] = chunks
             positions: list[int] = []
             for chunk in chunks:
-                positions.append(len(sim_payloads))
-                sim_payloads.append(
-                    (prep.name, prep.scan_circuit, table, prep.tests, chunk)
-                )
+                positions.append(len(sim_chunks))
+                sim_chunks.append((prep.name, chunk))
             chunk_index[(prep.name, model)] = positions
 
-    with trace_span("sweep.simulate", chunks=len(sim_payloads), jobs=jobs):
+    with trace_span("sweep.simulate", chunks=len(sim_chunks), jobs=jobs):
+        simulate_snapshot = {
+            "circuits": sim_circuits,
+            "chunks": sim_chunks,
+            "faultsim": faultsim,
+        }
         sim_results: list[tuple[list[int], StageTimings, ObsSnapshot | None]] = (
-            _pool_map(jobs, _simulate_chunk, sim_payloads)
+            _run_phase(jobs, _simulate_task, simulate_snapshot, len(sim_chunks))
         )
         for result in sim_results:
             absorb_snapshot(result[2])

@@ -1,0 +1,286 @@
+"""Persistent worker pool: prime once, then index-only task messages.
+
+The sweep engine used to create a fresh ``ProcessPoolExecutor`` per phase
+and ship every task's full payload (scan circuit, state table, test set,
+fault chunk) through pickle — on the small circuits of this corpus the
+spawn + pickle overhead exceeded the simulation itself, which is how
+``speedup_parallel_cold`` ended up *below* 1.
+
+This pool inverts that:
+
+* **Workers outlive a sweep.**  They are forked once (daemon processes,
+  one duplex pipe each) and reused by every later phase and sweep in the
+  process; :func:`get_pool` hands out the singleton.
+* **Prime once per phase.**  :meth:`WorkerPool.prime` broadcasts one
+  read-only snapshot (plus the artifact-cache root and whether
+  observability is on) to every worker and waits for acks.  Workers
+  re-prime cheaply; each prime installs *fresh* obs collectors, because a
+  forked worker inherits the parent's tracer state.
+* **Index-only tasks.**  :meth:`WorkerPool.run` sends ``(fn, index)``
+  messages; the worker applies ``fn(snapshot, index)``.  A task result
+  travels back over the pipe; scheduling is dynamic (next index goes to
+  the first worker that answers), so an unbalanced chunk list still packs.
+
+Failure containment: a worker that dies mid-phase has its outstanding and
+remaining work finished inline by the parent (``fn`` on the parent's own
+copy of the snapshot — results are identical by construction); a machine
+where ``fork`` is unavailable gets ``None`` from :func:`get_pool` and the
+engine runs the same task functions inline.  Worker exceptions re-raise in
+the parent.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from multiprocessing.connection import Connection, wait as connection_wait
+from typing import Any, Callable, Sequence
+
+from repro.perf.cache import ArtifactCache, set_active_cache
+
+__all__ = ["WorkerPool", "get_pool", "shutdown_pool"]
+
+TaskFn = Callable[[Any, int], Any]
+
+
+def _worker_main(conn: Connection) -> None:
+    """Worker loop: prime installs state, tasks apply ``fn(snapshot, i)``."""
+    import repro.obs as obs
+
+    snapshot: Any = None
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        except Exception as error:  # unpicklable message: report, don't die
+            try:
+                conn.send(("err", None, RuntimeError(repr(error))))
+                continue
+            except Exception:
+                break
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "prime":
+            _, cache_root, obs_on, snapshot = message
+            set_active_cache(ArtifactCache(cache_root) if cache_root else None)
+            # Always reset collectors: the fork inherited the parent's
+            # tracer, and a stale one would double-report or leak spans.
+            if obs_on:
+                obs.enable_in_worker()
+            else:
+                obs.disable()
+            conn.send(("primed",))
+            continue
+        # ("task", fn, index)
+        _, fn, index = message
+        try:
+            result = fn(snapshot, index)
+        except BaseException as error:  # noqa: BLE001 — relayed to parent
+            try:
+                conn.send(("err", index, error))
+            except Exception:
+                conn.send(("err", index, RuntimeError(repr(error))))
+            continue
+        conn.send(("ok", index, result))
+
+
+class _Worker:
+    def __init__(self, context, index: int) -> None:
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        self.conn = parent_conn
+        self.process = context.Process(
+            target=_worker_main,
+            args=(child_conn,),
+            daemon=True,
+            name=f"repro-pool-{index}",
+        )
+        self.process.start()
+        child_conn.close()
+        self.alive = True
+
+    def kill(self) -> None:
+        self.alive = False
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=2)
+
+
+class WorkerPool:
+    """A fixed set of persistent forked workers (see module docstring)."""
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 2:
+            raise ValueError("WorkerPool needs at least 2 jobs; run inline")
+        self.jobs = jobs
+        context = multiprocessing.get_context("fork")
+        self._workers = [_Worker(context, i) for i in range(jobs)]
+        self._snapshot: Any = None
+        self._closed = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    def prime(
+        self,
+        snapshot: Any,
+        *,
+        cache_root: str | None = None,
+        obs_on: bool = False,
+    ) -> None:
+        """Broadcast the read-only snapshot; blocks until every ack.
+
+        The parent keeps its own reference so it can finish tasks inline if
+        workers die.  A worker that fails to prime is dropped.
+        """
+        self._snapshot = snapshot
+        for worker in self._workers:
+            if not worker.alive:
+                continue
+            try:
+                worker.conn.send(("prime", cache_root, obs_on, snapshot))
+            except (OSError, BrokenPipeError):
+                worker.kill()
+        for worker in self._workers:
+            if not worker.alive:
+                continue
+            try:
+                ack = worker.conn.recv()
+                if ack[0] != "primed":  # pragma: no cover — protocol drift
+                    worker.kill()
+            except (EOFError, OSError):
+                worker.kill()
+
+    def run(self, fn: TaskFn, n_tasks: int) -> list[Any]:
+        """Apply ``fn(snapshot, index)`` for every index; ordered results.
+
+        Dynamic scheduling: each worker gets one task up front and the next
+        pending index as soon as it answers.  Tasks of dead workers (and
+        everything still pending once no worker is left) run inline in the
+        parent on its own snapshot reference.
+        """
+        results: list[Any] = [None] * n_tasks
+        pending = list(range(n_tasks - 1, -1, -1))
+        outstanding: dict[int, int] = {}  # worker slot -> task index
+        first_error: BaseException | None = None
+        for slot, worker in enumerate(self._workers):
+            if not worker.alive or not pending:
+                continue
+            if self._send_task(worker, fn, pending[-1]):
+                outstanding[slot] = pending.pop()
+        while outstanding:
+            ready = connection_wait(
+                [self._workers[slot].conn for slot in outstanding]
+            )
+            ready_ids = {id(conn) for conn in ready}
+            for slot in list(outstanding):
+                worker = self._workers[slot]
+                if id(worker.conn) not in ready_ids:
+                    continue
+                index = outstanding.pop(slot)
+                try:
+                    message = worker.conn.recv()
+                except (EOFError, OSError):
+                    # Worker died mid-task; its index goes back to pending
+                    # and the parent will pick it up inline if needed.
+                    worker.kill()
+                    pending.append(index)
+                    continue
+                if message[0] == "err":
+                    # Drain the other in-flight tasks before raising so the
+                    # pipes are clean for the next run; dispatch stops here.
+                    first_error = first_error or message[2]
+                    continue
+                results[message[1]] = message[2]
+                if (
+                    first_error is None
+                    and pending
+                    and self._send_task(worker, fn, pending[-1])
+                ):
+                    outstanding[slot] = pending.pop()
+        if first_error is not None:
+            raise first_error
+        for index in reversed(pending):
+            results[index] = fn(self._snapshot, index)
+        return results
+
+    def _send_task(self, worker: _Worker, fn: TaskFn, index: int) -> bool:
+        try:
+            worker.conn.send(("task", fn, index))
+            return True
+        except (OSError, BrokenPipeError):
+            worker.kill()
+            return False
+
+    @property
+    def n_alive(self) -> int:
+        return sum(1 for worker in self._workers if worker.alive)
+
+    def shutdown(self) -> None:
+        """Stop and join every worker; the pool is unusable afterwards."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            if worker.alive:
+                try:
+                    worker.conn.send(("stop",))
+                except (OSError, BrokenPipeError):
+                    pass
+            worker.kill()
+        self._snapshot = None
+
+
+# --------------------------------------------------------------- singleton
+
+_POOL: WorkerPool | None = None
+
+
+def get_pool(jobs: int) -> WorkerPool | None:
+    """The process-wide persistent pool, (re)sized to ``jobs`` workers.
+
+    Returns ``None`` — meaning "run inline" — when ``jobs <= 1`` or worker
+    processes cannot be created in this environment.  A live pool with a
+    different size is shut down and replaced; with the same size it is
+    reused as-is (that reuse is the point: sweeps after the first pay zero
+    spawn cost).
+    """
+    global _POOL
+    if jobs <= 1:
+        return None
+    if _POOL is not None and not _POOL._closed and _POOL.jobs == jobs:
+        if _POOL.n_alive > 0:
+            return _POOL
+        _POOL.shutdown()
+        _POOL = None
+    elif _POOL is not None:
+        _POOL.shutdown()
+        _POOL = None
+    try:
+        # get_context("fork") raises ValueError where fork is unsupported;
+        # restricted sandboxes raise OSError/PermissionError on spawn.
+        _POOL = WorkerPool(jobs)
+    except (OSError, PermissionError, ValueError):
+        _POOL = None
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Shut the singleton down (tests, interpreter exit)."""
+    global _POOL
+    if _POOL is not None:
+        _POOL.shutdown()
+        _POOL = None
+
+
+atexit.register(shutdown_pool)
+
+# Forked children of a process that owns a pool must never try to talk to
+# their inherited copy of it.
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=lambda: globals().__setitem__("_POOL", None))

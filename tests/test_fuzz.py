@@ -97,8 +97,9 @@ class TestGenerators:
 
 
 class TestOracleRegistry:
-    def test_seven_oracles_registered(self):
-        assert len(oracle_names()) >= 6
+    def test_oracles_registered(self):
+        assert len(oracle_names()) >= 8
+        assert "sim-ppsfp-vs-bigint" in oracle_names()
         assert oracle_names() == tuple(sorted(oracle_names()))
 
     def test_unknown_oracle_raises(self):

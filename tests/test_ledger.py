@@ -199,7 +199,7 @@ class TestCliLedgering:
         assert record["results"]["lion"]["tests"] == 9
         assert record["cache"]["hits"] > 0
         report = json.loads(out.read_text())
-        assert report["schema"] == "repro-fsatpg-bench/3"
+        assert report["schema"] == "repro-fsatpg-bench/4"
         assert report["results"] == record["results"]
 
 
@@ -282,18 +282,19 @@ class TestHistoryViews:
 
 
 def make_baseline(tmp_path: Path, circuits=("lion",)) -> Path:
-    """A minimal but real /3 baseline measured on the current tree."""
+    """A minimal but real /4 baseline measured on the current tree."""
     from repro.obs.regress import collect_current
 
     current = collect_current(list(circuits))
     baseline = {
-        "schema": "repro-fsatpg-bench/3",
+        "schema": "repro-fsatpg-bench/4",
         "circuits": list(circuits),
         "options": {
             "config": {"max_uio_length": None, "max_transfer_length": 1,
                        "scan_ratio": 1},
             "max_fanin": 4,
             "bridging_pair_limit": 500,
+            "engine": "auto",
         },
         "runs": {"serial_cold": {"stage_seconds": current["stage_seconds"]}},
         "results": current["results"],

@@ -498,7 +498,7 @@ class TestPipelineObservability:
         for expected in (
             "sweep.prepare", "circuit.prepare", "uio.search",
             "testgen.chaining", "testgen.transfer", "sweep.simulate",
-            "sweep.chunk", "faultsim.compile", "sweep.select",
+            "sweep.chunk", "faultsim.ppsfp.build", "sweep.select",
         ):
             assert expected in names, expected
         assert validate_chrome_trace(session.tracer.to_chrome()) == []
@@ -510,7 +510,7 @@ class TestPipelineObservability:
         assert registry.counter("testgen.tests").value == 9  # the paper's lion
         assert registry.counter("testgen.chained").value > 0
         assert registry.counter("faultsim.batches").value >= 2  # 2 fault models
-        assert registry.counter("faultsim.compiled_calls").value > 0
+        assert registry.counter("faultsim.ppsfp.calls").value > 0
         assert registry.counter("faultsim.detected").value > 0
         assert registry.histogram("faultsim.batch_detected").count >= 2
 

@@ -28,10 +28,22 @@ from repro.perf.cache import (
     cache_enabled,
     stable_hash,
 )
-from repro.perf.engine import compute_studies
+from repro.perf.engine import _fault_chunks, compute_studies
+from repro.perf.pool import WorkerPool, get_pool, shutdown_pool
 from repro.uio.search import input_class_representatives
 
 PARALLEL_CIRCUITS = ("lion", "mc")
+
+
+def _pool_square(snapshot, index):
+    """Module-level so fork workers can unpickle it by reference."""
+    return snapshot["base"] + index * index
+
+
+def _pool_fail_on_two(snapshot, index):
+    if index == 2:
+        raise ValueError("task 2 exploded")
+    return index
 
 
 # ------------------------------------------------------------- stable_hash
@@ -227,7 +239,26 @@ class TestBench:
         assert warm["stage_seconds"]["uio"] == 0.0
         assert warm["stage_seconds"]["synthesis"] == 0.0
         assert warm["stage_seconds"]["detectability"] == 0.0
+        # /4 additions: engine pinned in options, per-stage speedups.
+        assert report["options"]["engine"] == "auto"
+        assert set(report["stage_speedups"]) == {
+            "parallel_cold", "parallel_warm",
+        }
+        serial_stages = report["runs"]["serial_cold"]["stage_seconds"]
+        for ratios in report["stage_speedups"].values():
+            assert set(ratios) == set(serial_stages)
+            assert all(value >= 0.0 for value in ratios.values())
         json.dumps(report)  # must be JSON-serializable as-is
+
+    def test_bench_engine_override_recorded(self, tmp_path):
+        from repro.perf.bench import run_bench
+
+        report = run_bench(
+            ("lion",), jobs=2, cache_root=tmp_path / "cache",
+            engine="ppsfp",
+        )
+        assert report["options"]["engine"] == "ppsfp"
+        assert report["identical"] is True
 
 
 # ------------------------------------------------- adaptive batch sizing
@@ -277,6 +308,114 @@ class TestAdaptiveBatchBits:
         adaptive = fault_sim.detects(circuit, lion, test, faults)
         fixed = fault_sim.detects(circuit, lion, test, faults, batch_bits=7)
         assert adaptive == fixed
+
+
+# ----------------------------------------------------- persistent pool
+
+
+class TestWorkerPool:
+    def test_requires_two_jobs(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            WorkerPool(1)
+
+    def test_prime_then_ordered_results(self):
+        pool = WorkerPool(2)
+        try:
+            pool.prime({"base": 100})
+            assert pool.run(_pool_square, 5) == [100, 101, 104, 109, 116]
+            # Re-prime replaces the snapshot for later phases.
+            pool.prime({"base": 0})
+            assert pool.run(_pool_square, 3) == [0, 1, 4]
+        finally:
+            pool.shutdown()
+
+    def test_error_drains_and_reraises_then_pool_survives(self):
+        pool = WorkerPool(2)
+        try:
+            pool.prime({"base": 0})
+            with pytest.raises(ValueError, match="task 2 exploded"):
+                pool.run(_pool_fail_on_two, 6)
+            # The pipes were drained, so the pool is still usable.
+            assert pool.run(_pool_square, 4) == [0, 1, 4, 9]
+        finally:
+            pool.shutdown()
+
+    def test_dead_workers_fall_back_inline(self):
+        pool = WorkerPool(2)
+        try:
+            pool.prime({"base": 10})
+            for worker in pool._workers:
+                worker.kill()
+            assert pool.n_alive == 0
+            # Every task runs inline on the parent's snapshot reference.
+            assert pool.run(_pool_square, 4) == [10, 11, 14, 19]
+        finally:
+            pool.shutdown()
+
+    def test_shutdown_is_idempotent(self):
+        pool = WorkerPool(2)
+        pool.shutdown()
+        pool.shutdown()
+        assert pool.n_alive == 0
+
+
+class TestPoolSingleton:
+    def test_inline_below_two_jobs(self):
+        assert get_pool(1) is None
+        assert get_pool(0) is None
+
+    def test_reuse_resize_and_shutdown(self):
+        try:
+            pool = get_pool(2)
+            if pool is None:  # fork unavailable in this environment
+                pytest.skip("worker processes unavailable")
+            assert get_pool(2) is pool  # same size: reused as-is
+            resized = get_pool(3)
+            assert resized is not pool and resized.jobs == 3
+            assert pool._closed  # the replaced pool was shut down
+        finally:
+            shutdown_pool()
+            shutdown_pool()  # idempotent
+
+
+# ------------------------------------------------- engine-aware chunking
+
+
+class TestFaultChunks:
+    def test_empty_universe(self):
+        assert _fault_chunks([], FaultSimConfig(), 4, 100) == []
+
+    def test_ppsfp_gets_one_whole_universe_chunk(self):
+        faults = list(range(300))
+        chunks = _fault_chunks(faults, FaultSimConfig(engine="ppsfp"), 6, 100)
+        assert chunks == [faults]
+
+    def test_bigint_gets_adaptive_slices(self):
+        faults = list(range(5000))
+        config = FaultSimConfig(engine="bigint")
+        size = config.resolved_batch_bits(len(faults))
+        chunks = _fault_chunks(faults, config, 6, 100)
+        assert [len(chunk) for chunk in chunks[:-1]] == [size] * (
+            len(chunks) - 1
+        )
+        assert [fault for chunk in chunks for fault in chunk] == faults
+        assert len(chunks) > 1
+
+    def test_auto_dispatch_controls_chunking(self):
+        faults = list(range(5000))
+        config = FaultSimConfig()  # auto
+        # Small pattern space: PPSFP fits, one chunk.
+        assert len(_fault_chunks(faults, config, 6, 10_000)) == 1
+        # Huge pattern space: table would blow the cell budget -> big-int.
+        assert len(_fault_chunks(faults, config, 30, 10_000)) > 1
+
+    def test_boundaries_are_jobs_invariant(self):
+        # _fault_chunks has no jobs parameter at all: the same universe
+        # always chunks identically, whatever the pool size.
+        import inspect
+
+        parameters = inspect.signature(_fault_chunks).parameters
+        assert "jobs" not in parameters
 
 
 # ------------------------------------------------------------ memoization
