@@ -1,0 +1,312 @@
+"""The D-algorithm (Roth 1966) with D- and J-frontier bookkeeping.
+
+Unlike PODEM, the D-algorithm decides on *internal* lines: it first
+requires a deviation at the fault site, then repeatedly either extends
+the D-frontier (pick a frontier gate ordered by SCOAP observability and
+require its output to carry D or D') or, once a deviation reaches an
+observed output, discharges the J-frontier — the set of lines whose
+required value is not yet implied by their fanins — by branching one
+unknown fanin at a time over its composite domain.
+
+The implication engine is an event-driven fixpoint: forward implication
+through the componentwise five-valued gate evaluation, plus an exact
+per-gate feasibility check (the (good, faulty) pair DP of
+:meth:`~repro.atpg.model.FaultedCircuit.can_output`) that detects
+unjustifiable requirements early.  Conflict-driven backtracking restores
+a snapshot and tries the next alternative of the deepest open decision;
+exhausting the root alternatives is a completeness-backed untestability
+proof.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.atpg.model import FaultedCircuit, StateCodeConstraint
+from repro.atpg.search import (
+    ABORT_BACKTRACKS,
+    ABORT_TIME,
+    STATUS_ABORTED,
+    STATUS_TEST,
+    STATUS_UNTESTABLE,
+    SearchBudget,
+    SearchOutcome,
+)
+from repro.atpg.values import D, D_BAR, GOOD, UNKNOWN, X3, eval3
+from repro.gatelevel.netlist import GateType
+from repro.sca.scoap import ScoapMeasures
+
+__all__ = ["d_algorithm_search"]
+
+
+class _DAlgorithm:
+    def __init__(
+        self,
+        model: FaultedCircuit,
+        scoap: ScoapMeasures,
+        constraint: StateCodeConstraint | None,
+        budget: SearchBudget,
+    ) -> None:
+        self.model = model
+        self.scoap = scoap
+        self.constraint = constraint
+        self.budget = budget
+        self.netlist = model.netlist
+        self.values: list[int] = [UNKNOWN] * self.netlist.n_gates
+        self.j_frontier: set[int] = set()
+
+    # ----------------------------------------------------------- implication
+
+    def _constraint_ok(self) -> bool:
+        if self.constraint is None:
+            return True
+        bits: list[int | None] = []
+        for line in self.netlist.inputs[: self.constraint.width]:
+            value = self.values[line]
+            bits.append(None if value == UNKNOWN else GOOD[value])
+        return self.constraint.feasible(bits)
+
+    def _imply(self, queue: deque[int]) -> bool:
+        """Propagate to fixpoint; ``False`` on conflict.
+
+        The queue is deduplicated (a gate with several freshly-changed
+        fanins is evaluated once per drain, not once per event) and gates
+        outside the fault cone fold their good components only — both
+        components agree there by construction.
+        """
+        model = self.model
+        values = self.values
+        netlist = self.netlist
+        fanouts = model.fanouts
+        cone = model.cone
+        queued = set(queue)
+
+        def push(index: int) -> None:
+            if index not in queued:
+                queued.add(index)
+                queue.append(index)
+
+        while queue:
+            index = queue.popleft()
+            queued.discard(index)
+            gate = netlist.gate(index)
+            if gate.kind is GateType.INPUT:
+                continue
+            if index in cone:
+                computed = model.evaluate_gate(index, values)
+            else:
+                good = eval3(
+                    gate.kind, [GOOD[values[f]] for f in gate.fanins]
+                )
+                computed = UNKNOWN if good == X3 else good
+            current = values[index]
+            if computed != UNKNOWN:
+                if current == UNKNOWN:
+                    values[index] = computed
+                    self.j_frontier.discard(index)
+                    for reader in fanouts[index]:
+                        push(reader)
+                elif current != computed:
+                    return False
+                else:
+                    self.j_frontier.discard(index)
+            elif current != UNKNOWN:
+                if not model.can_output(index, values, current):
+                    return False
+                # Backward (unique-fanin) implication: any unknown fanin
+                # with a single feasible value is forced now.  This is the
+                # classic D-drive side-input assignment — without it an
+                # unjustifiable requirement is only discovered after the
+                # deviation reached an output, which explodes the search.
+                forced = self._unique_implications(index, current)
+                if forced is None:
+                    return False
+                if forced:
+                    for line, value in forced:
+                        if values[line] != UNKNOWN:
+                            continue
+                        values[line] = value
+                        for reader in fanouts[line]:
+                            push(reader)
+                        push(line)
+                    push(index)
+                self.j_frontier.add(index)
+        return self._constraint_ok()
+
+    def _unique_implications(
+        self, index: int, required: int
+    ) -> list[tuple[int, int]] | None:
+        """Unknown fanins of gate ``index`` forced by its required output.
+
+        For each unknown fanin, probe every value of its domain against
+        the exact pair DP; no feasible value is a conflict (``None``), a
+        single feasible value is an implication.
+        """
+        model = self.model
+        values = self.values
+        gate = self.netlist.gate(index)
+        forced: list[tuple[int, int]] = []
+        for fanin in gate.fanins:
+            if values[fanin] != UNKNOWN:
+                continue
+            feasible = []
+            for value in model.line_domain(fanin):
+                values[fanin] = value
+                if model.can_output(index, values, required):
+                    feasible.append(value)
+                values[fanin] = UNKNOWN
+            if not feasible:
+                return None
+            if len(feasible) == 1:
+                forced.append((fanin, feasible[0]))
+        return forced
+
+    def _assign(self, line: int, value: int) -> bool:
+        """Decide ``line := value`` and re-imply."""
+        values = self.values
+        if values[line] != UNKNOWN:  # pragma: no cover - decisions pick X lines
+            return values[line] == value
+        values[line] = value
+        queue: deque[int] = deque(self.netlist.fanouts()[line])
+        queue.append(line)
+        return self._imply(queue)
+
+    def _init(self) -> bool:
+        """Seed the deviation at the fault site and imply."""
+        fault = self.model.fault
+        values = self.values
+        queue: deque[int] = deque()
+        fanouts = self.netlist.fanouts()
+        deviation = D if fault.value == 0 else D_BAR
+        if fault.pin is None:
+            values[fault.gate] = deviation
+            queue.extend(fanouts[fault.gate])
+            queue.append(fault.gate)
+        else:
+            driver = self.model.site_line
+            need = 1 - fault.value
+            if values[driver] == UNKNOWN:
+                values[driver] = need
+                queue.extend(fanouts[driver])
+                queue.append(driver)
+            elif GOOD[values[driver]] != need:  # pragma: no cover - fresh state
+                return False
+            queue.append(fault.gate)
+        return self._imply(queue)
+
+    # -------------------------------------------------------------- decisions
+
+    def _alternatives(self) -> list[tuple[int, int]]:
+        """The (line, value) branches of the next decision point.
+
+        Before a deviation reaches an output: branch over the D-frontier
+        (each frontier gate, required D then D'), cheapest observability
+        first.  After: branch one unknown fanin of the lowest J-frontier
+        gate over its composite domain.  Either list is exhaustive for
+        its decision, which is what makes the search complete.
+        """
+        model = self.model
+        values = self.values
+        if not model.detected(values):
+            frontier = model.d_frontier(values)
+            if not frontier:
+                return []
+            open_lines = model.x_path_lines(values)
+            frontier = [g for g in frontier if g in open_lines]
+            co = self.scoap.co
+            frontier.sort(key=lambda g: (co[g], g))
+            alternatives = []
+            for index in frontier:
+                reachable = model.reachable_outputs(index, values)
+                for deviation in (D, D_BAR):
+                    if deviation in reachable:
+                        alternatives.append((index, deviation))
+            return alternatives
+        gate_index = min(self.j_frontier)
+        gate = self.netlist.gate(gate_index)
+        unknown = [f for f in gate.fanins if values[f] == UNKNOWN]
+        cc0, cc1 = self.scoap.cc0, self.scoap.cc1
+        line = min(unknown, key=lambda f: (min(cc0[f], cc1[f]), f))
+        required = values[gate_index]
+        alternatives = []
+        for value in model.line_domain(line):
+            values[line] = value
+            if model.can_output(gate_index, values, required):
+                alternatives.append((line, value))
+            values[line] = UNKNOWN
+        return alternatives
+
+    def _snapshot(self) -> tuple[list[int], set[int]]:
+        return list(self.values), set(self.j_frontier)
+
+    def _restore(self, snapshot: tuple[list[int], set[int]]) -> None:
+        self.values = list(snapshot[0])
+        self.j_frontier = set(snapshot[1])
+
+    # ----------------------------------------------------------------- search
+
+    def run(self) -> SearchOutcome:
+        decisions = 0
+        backtracks = 0
+        conflict = not self._init()
+        # Frames: [snapshot, alternatives, index of the alternative in force].
+        stack: list[list] = []
+        while True:
+            if self.budget.time_exceeded():
+                return SearchOutcome(
+                    STATUS_ABORTED, None, decisions, backtracks, ABORT_TIME
+                )
+            if not conflict:
+                if self.model.detected(self.values) and not self.j_frontier:
+                    cube = tuple(
+                        -1 if self.values[line] == UNKNOWN
+                        else GOOD[self.values[line]]
+                        for line in self.netlist.inputs
+                    )
+                    return SearchOutcome(
+                        STATUS_TEST, cube, decisions, backtracks
+                    )
+                alternatives = self._alternatives()
+                if alternatives:
+                    stack.append([self._snapshot(), alternatives, 0])
+                    decisions += 1
+                    line, value = alternatives[0]
+                    conflict = not self._assign(line, value)
+                    continue
+                conflict = True
+            # Conflict: advance the deepest frame with an untried branch.
+            while stack:
+                frame = stack[-1]
+                snapshot, alternatives, position = frame
+                if position + 1 < len(alternatives):
+                    backtracks += 1
+                    if backtracks > self.budget.backtrack_limit:
+                        return SearchOutcome(
+                            STATUS_ABORTED,
+                            None,
+                            decisions,
+                            backtracks,
+                            ABORT_BACKTRACKS,
+                        )
+                    self._restore(snapshot)
+                    frame[2] = position + 1
+                    line, value = alternatives[position + 1]
+                    conflict = not self._assign(line, value)
+                    break
+                stack.pop()
+            else:
+                return SearchOutcome(
+                    STATUS_UNTESTABLE, None, decisions, backtracks
+                )
+
+
+def d_algorithm_search(
+    model: FaultedCircuit,
+    scoap: ScoapMeasures,
+    constraint: StateCodeConstraint | None = None,
+    budget: SearchBudget | None = None,
+) -> SearchOutcome:
+    """Run the D-algorithm for ``model``'s fault; see :class:`SearchOutcome`."""
+    if budget is None:
+        budget = SearchBudget(backtrack_limit=100_000)
+    return _DAlgorithm(model, scoap, constraint, budget).run()

@@ -1,0 +1,72 @@
+"""Shared search-outcome vocabulary for the structural ATPG engines.
+
+Both engines are *complete* bounded searches: they return
+:data:`STATUS_TEST` with a cube, :data:`STATUS_UNTESTABLE` only after the
+whole decision tree was explored without exceeding the budget (which makes
+the verdict a proof), or :data:`STATUS_ABORTED` the moment the backtrack
+limit or time budget is exhausted — an aborted search proves nothing and
+must never be read as "untestable".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "STATUS_TEST",
+    "STATUS_UNTESTABLE",
+    "STATUS_ABORTED",
+    "ABORT_BACKTRACKS",
+    "ABORT_TIME",
+    "DEFAULT_BACKTRACK_LIMIT",
+    "SearchBudget",
+    "SearchOutcome",
+]
+
+STATUS_TEST = "test"
+STATUS_UNTESTABLE = "untestable"
+STATUS_ABORTED = "aborted"
+
+ABORT_BACKTRACKS = "backtrack-limit"
+ABORT_TIME = "time-budget"
+
+#: Generous default: the bundled benchmarks prove every verdict well below
+#: this, so hitting it in practice signals a pathological circuit.
+DEFAULT_BACKTRACK_LIMIT = 100_000
+
+
+class SearchBudget:
+    """Backtrack / wall-clock budget shared by the two engines."""
+
+    def __init__(
+        self, backtrack_limit: int, time_budget_s: float | None = None
+    ) -> None:
+        self.backtrack_limit = backtrack_limit
+        self.deadline = (
+            None if time_budget_s is None else time.monotonic() + time_budget_s
+        )
+
+    def time_exceeded(self) -> bool:
+        return self.deadline is not None and time.monotonic() > self.deadline
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """Result of one bounded fault search.
+
+    ``cube`` (only for :data:`STATUS_TEST`) holds one entry per circuit
+    input: 0, 1, or -1 for don't-care.  ``decisions``/``backtracks`` are
+    the bounded-search certificate: an untestable verdict says the engine
+    explored every branch within ``backtracks <= limit``.
+    """
+
+    status: str
+    cube: tuple[int, ...] | None
+    decisions: int
+    backtracks: int
+    aborted_reason: str | None = None
+
+    @property
+    def found(self) -> bool:
+        return self.status == STATUS_TEST

@@ -10,6 +10,9 @@ Subcommands
 ``table2..9``  — regenerate the corresponding paper table
 ``all``        — regenerate every table over a tier
 ``lint``       — static analysis of machines, netlists, and test programs
+``analyze``    — static netlist analysis: collapsing, SCOAP, redundancy
+``atpg``       — structural ATPG (D-algorithm / PODEM), every verdict
+                 machine-checked; ``--top-off`` closes the functional gap
 ``fuzz``       — differential fuzzing of the whole stack (exit 1 on failure)
 ``claims``     — run the reproduction certificate (exit 1 on any failure)
 ``bench``      — serial vs parallel vs warm-cache timing (BENCH_perf.json)
@@ -414,6 +417,98 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
               f"{len(shown)} shown):")
         for cert in shown:
             print(f"  {cert.fault.site():<20} {cert.reason}")
+    return 0
+
+
+def _cmd_atpg(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.atpg import ATPG_SCHEMA, top_off
+    from repro.harness.experiments import CircuitStudy
+    from repro.perf.artifacts import cached_atpg
+
+    options = _options_from(args)
+    runs = []
+    results: dict[str, dict] = {}
+    for name in args.circuits:
+        study = CircuitStudy(name, options)
+        scan, sca, table = study.scan_circuit, study.sca, study.table
+        payload: dict[str, object]
+        if args.top_off:
+            report = top_off(
+                scan,
+                table,
+                study.stuck_at_faults,
+                study.stuck_at_selection.detected,
+                proven_untestable=study.stuck_at_proven,
+                algorithm=args.algorithm,
+                backtrack_limit=args.backtrack_limit,
+                scoap=sca.scoap,
+                certificates=sca.certificates,
+            )
+            run = report.run
+            payload = run.to_dict()
+            payload["top_off"] = report.to_dict()
+        else:
+            run = cached_atpg(
+                scan,
+                table,
+                study.stuck_at_faults,
+                algorithm=args.algorithm,
+                backtrack_limit=args.backtrack_limit,
+                certificates=sca.certificates,
+                circuit=name,
+            )
+            report = None
+            payload = run.to_dict()
+        payload["circuit"] = name
+        runs.append((name, run, report, payload))
+        results[name] = {
+            "targets": run.n_targets,
+            "tests": len(run.tests),
+            "untestable": len(run.untestable),
+            "aborted": len(run.aborted),
+            "coverage_pct": round(run.coverage_pct, 2),
+            "backtracks": run.total_backtracks,
+        }
+    args._ledger_circuits = list(args.circuits)
+    args._ledger_results = results
+    args._ledger_semantics = {
+        "algorithm": args.algorithm,
+        "backtrack_limit": args.backtrack_limit,
+        "top_off": bool(args.top_off),
+    }
+    if args.format == "json":
+        print(_json.dumps(
+            {"schema": ATPG_SCHEMA,
+             "algorithm": args.algorithm,
+             "backtrack_limit": args.backtrack_limit,
+             "max_fanin": args.max_fanin,
+             "runs": [payload for _, _, _, payload in runs]},
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    for name, run, report, _ in runs:
+        certified = sum(1 for v in run.untestable if v.certified)
+        print(f"circuit      {name}")
+        print(f"algorithm    {run.algorithm} "
+              f"(backtrack limit {run.backtrack_limit})")
+        print(f"targets      {run.n_targets} collapsed representative(s)")
+        print(f"tests        {len(run.tests)} found, every witness "
+              f"replayed through the fault simulator")
+        print(f"untestable   {len(run.untestable)} proven by exhausted "
+              f"search ({certified} matching a static certificate)")
+        print(f"aborted      {len(run.aborted)} (budget exhausted, "
+              f"no verdict)")
+        print(f"coverage     {run.coverage_pct:.2f}% of targets")
+        print(f"backtracks   {run.total_backtracks} total")
+        if report is not None:
+            print(f"top-off      functional "
+                  f"{report.functional_coverage_pct:.2f}% -> combined "
+                  f"{report.combined_coverage_pct:.2f}% "
+                  f"({len(run.tests)} structural test(s) added)")
+        if run is not runs[-1][1]:
+            print()
     return 0
 
 
@@ -971,6 +1066,39 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write a JSON metrics snapshot of this run")
     analyze.set_defaults(func=_cmd_analyze)
 
+    atpg = sub.add_parser(
+        "atpg",
+        help="structural ATPG: D-algorithm / PODEM over the collapsed "
+        "fault list with machine-checked verdicts",
+    )
+    atpg.add_argument("circuits", nargs="+", metavar="circuit",
+                      help="benchmark circuit name(s)")
+    atpg.add_argument("--algorithm", choices=("podem", "d"),
+                      default="podem",
+                      help="search engine: PODEM (input branching) or the "
+                      "D-algorithm (internal-line branching)")
+    atpg.add_argument("--backtrack-limit", type=int, default=100_000,
+                      metavar="N",
+                      help="abort a fault's search after N backtracks "
+                      "(aborts claim nothing; default: 100000)")
+    atpg.add_argument("--top-off", action="store_true",
+                      help="target only the representatives the functional "
+                      "test set missed and report combined coverage")
+    atpg.add_argument("--max-fanin", type=int, default=4,
+                      help="gate fanin bound for synthesis (0 = unbounded)")
+    atpg.add_argument("--format", choices=("human", "json"),
+                      default="human",
+                      help="json emits the full repro-fsatpg-atpg/1 "
+                      "payload (see scripts/validate_atpg.py)")
+    atpg.add_argument("--cache-dir", default=None, metavar="PATH",
+                      help="enable the artifact cache rooted at PATH "
+                      "('default' = ~/.cache/repro-fsatpg)")
+    atpg.add_argument("--trace-out", default=None, metavar="PATH",
+                      help="write a Chrome trace_event file of this run")
+    atpg.add_argument("--metrics-out", default=None, metavar="PATH",
+                      help="write a JSON metrics snapshot of this run")
+    atpg.set_defaults(func=_cmd_atpg)
+
     fuzz = sub.add_parser(
         "fuzz",
         help="differential fuzzing: random machines through paired "
@@ -1172,12 +1300,13 @@ def _normalize(args: argparse.Namespace) -> None:
 #: trending; the cache and ledger subcommands are bookkeeping.
 _LEDGER_COMMANDS = frozenset(
     {f"table{number}" for number in range(2, 10)}
-    | {"all", "generate", "claims", "fuzz", "analyze"}
+    | {"all", "generate", "claims", "fuzz", "analyze", "atpg"}
 )
 
 #: Span names that are pipeline stages (see ``repro.perf.artifacts``).
 _STAGE_SPAN_NAMES = frozenset(
-    {"uio", "synthesis", "generation", "detectability", "fault-sim", "sca"}
+    {"uio", "synthesis", "generation", "detectability", "fault-sim", "sca",
+     "atpg"}
 )
 
 

@@ -79,6 +79,16 @@ class CertificateError(ReproError):
     """
 
 
+class AtpgError(ReproError):
+    """The structural test generator reached an inconsistent state.
+
+    Raised when a found test cube fails its machine-checked witness replay,
+    when a verdict contradicts a verified untestability certificate, or when
+    the engine is driven with invalid inputs — *not* for exhausted search
+    budgets, which are an explicit ``aborted`` verdict, never an exception.
+    """
+
+
 class FuzzError(ReproError):
     """The differential fuzzing subsystem was driven with invalid inputs.
 

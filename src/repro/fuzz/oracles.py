@@ -22,6 +22,7 @@ Registered oracles
 ``scan-vs-nonscan``     scan-test detection re-derived via the non-scan path
 ``synthesis-replay``    gate-level scan circuit replays equal table replays
 ``cache-replay``        warm artifact-cache replays bit-identical to cold runs
+``atpg-vs-faultsim``    structural ATPG verdicts match exhaustive detectability
 """
 
 from __future__ import annotations
@@ -49,7 +50,7 @@ from repro.gatelevel.ppsfp import PpsfpSimulator
 from repro.gatelevel.scan import ScanCircuit
 from repro.gatelevel.synthesis import SynthesisOptions
 from repro.nonscan.simulate import sequence_detects
-from repro.perf.artifacts import cached_uio_table, state_table_parts
+from repro.perf.artifacts import cached_atpg, cached_uio_table, state_table_parts
 from repro.perf.cache import ReplayVerifier, cache_enabled, cache_probe, stable_hash
 from repro.uio.search import DEFAULT_NODE_BUDGET, compute_uio_table
 
@@ -392,6 +393,55 @@ def _synthesis_replay(case: FuzzCase) -> None:
 
 
 @_oracle(
+    "atpg-vs-faultsim",
+    "structural ATPG finds a test iff exhaustive detectability agrees",
+)
+def _atpg_vs_faultsim(case: FuzzCase) -> None:
+    from repro.atpg import STATUS_ABORTED, generate_structural_tests
+    from repro.gatelevel.detectability import (
+        assigned_pattern_mask,
+        detectable_faults,
+    )
+    from repro.gatelevel.stuck_at import collapse_stuck_at
+
+    _gate_level_case(case)
+    table = case.table
+    circuit = case.scan_circuit()
+    netlist = circuit.netlist
+    representatives = sorted(set(collapse_stuck_at(netlist).values()))
+    _require(bool(representatives), "empty collapsed stuck-at universe")
+    # The ground truth must judge only patterns a scan test can establish
+    # (assigned state codes), exactly the constraint the search honours.
+    mask = assigned_pattern_mask(circuit.encoding, circuit.n_primary_inputs)
+    detectable, undetectable = detectable_faults(
+        netlist, representatives, pattern_mask=mask
+    )
+    for algorithm in ("podem", "d"):
+        run = generate_structural_tests(
+            circuit, table, representatives, algorithm=algorithm, replay=True
+        )
+        for verdict in run.verdicts:
+            if verdict.status == STATUS_ABORTED:
+                raise OracleFailure(
+                    f"{algorithm} aborted on {verdict.fault.site()} under "
+                    "the default budget; complete searches must terminate"
+                )
+        found = {verdict.fault for verdict in run.tests}
+        untestable = {verdict.fault for verdict in run.untestable}
+        if found != detectable or untestable != undetectable:
+            false_negative = sorted(
+                fault.site() for fault in detectable - found
+            )
+            false_positive = sorted(
+                fault.site() for fault in found - detectable
+            )
+            raise OracleFailure(
+                f"{algorithm} disagrees with exhaustive detectability: "
+                f"missed={false_negative[:4]} phantom={false_positive[:4]}"
+            )
+
+
+@_oracle(
     "cache-replay",
     "warm artifact-cache replays are identical to the cold computation",
 )
@@ -413,6 +463,16 @@ def _cache_replay(case: FuzzCase) -> None:
                 # Compiling twice exercises the simulator-source cache path.
                 CompiledFaultSimulator(case.scan_circuit(), table, case.gate_faults())
                 CompiledFaultSimulator(case.scan_circuit(), table, case.gate_faults())
+            if gate_ok:
+                # Running ATPG twice exercises the atpg cache path: the
+                # second call must replay the stored verdicts verbatim
+                # (the probe compares them against the cold run).
+                first_run = cached_atpg(case.scan_circuit(), table)
+                second_run = cached_atpg(case.scan_circuit(), table)
+                if first_run != second_run:
+                    raise OracleFailure(
+                        "warm ATPG run differs from the cold computation"
+                    )
             if cache.hits < 1:
                 raise OracleFailure("no cache hit on immediate replay")
     if not (cold == first == second):

@@ -38,12 +38,14 @@ from repro.sca import ScaAnalysis, analyze
 from repro.uio.search import UioTable, compute_uio_table
 
 __all__ = [
+    "STAGE_ATPG",
     "STAGE_DETECTABILITY",
     "STAGE_FAULT_SIM",
     "STAGE_GENERATION",
     "STAGE_SCA",
     "STAGE_SYNTHESIS",
     "STAGE_UIO",
+    "cached_atpg",
     "cached_detectability",
     "cached_scan_circuit",
     "cached_sca",
@@ -63,6 +65,7 @@ STAGE_GENERATION = "generation"
 STAGE_DETECTABILITY = "detectability"
 STAGE_FAULT_SIM = "fault-sim"
 STAGE_SCA = "sca"
+STAGE_ATPG = "atpg"
 
 
 # ------------------------------------------------------------- key material
@@ -285,6 +288,80 @@ def cached_sca(
         cache.put("sca", key, sca)
     _report_sca(sca)
     return sca
+
+
+def cached_atpg(
+    scan: ScanCircuit,
+    table: StateTable,
+    faults: Sequence[StuckAtFault] | None = None,
+    *,
+    algorithm: str = "podem",
+    backtrack_limit: int | None = None,
+    certificates: Sequence = (),
+    circuit: str = "",
+    timings: StageTimings | None = None,
+):
+    """Structural ATPG run (:class:`~repro.atpg.AtpgRun`) for ``scan``.
+
+    Entries are stored only after every ``test`` verdict's cube replayed
+    through the fault simulator and every ``untestable`` verdict survived
+    the static-certificate cross-check — the engine raises otherwise, so a
+    cache hit returns machine-checked verdicts.  Time-budgeted runs are
+    never cached (their aborts are wall-clock-dependent); callers wanting a
+    time budget go to :func:`repro.atpg.generate_structural_tests`
+    directly.
+    """
+    import dataclasses
+
+    from repro.atpg import DEFAULT_BACKTRACK_LIMIT, generate_structural_tests
+    from repro.gatelevel.stuck_at import collapse_stuck_at
+
+    if backtrack_limit is None:
+        backtrack_limit = DEFAULT_BACKTRACK_LIMIT
+    netlist = scan.netlist
+    if faults is None:
+        faults = sorted(set(collapse_stuck_at(netlist).values()))
+    label = circuit or table.name
+    cache = active_cache()
+    key = ""
+    if cache is not None:
+        key = artifact_key(
+            "atpg",
+            netlist_parts(netlist),
+            state_table_parts(table),
+            scan.encoding.codes,
+            scan.encoding.width,
+            fault_universe_parts(faults),
+            algorithm,
+            backtrack_limit,
+            fault_universe_parts(sorted(c.fault for c in certificates)),
+        )
+        stored = cache.get("atpg", key)
+        if stored is not None:
+            if stored.circuit != label:
+                stored = dataclasses.replace(stored, circuit=label)
+            _record(timings, label, STAGE_ATPG, 0.0, "hit")
+            return stored
+    with _staged(timings, label, STAGE_ATPG) as sp:
+        if cache is not None:
+            sp.set(cache="miss")
+        run = generate_structural_tests(
+            scan,
+            table,
+            faults,
+            algorithm=algorithm,
+            backtrack_limit=backtrack_limit,
+            certificates=certificates,
+            replay=True,
+        )
+        if run.circuit != label:
+            # The engine labels runs by netlist name; normalize to the
+            # caller's label so cold and warm results compare equal.
+            run = dataclasses.replace(run, circuit=label)
+        sp.set(targets=run.n_targets, tests=len(run.tests))
+    if cache is not None:
+        cache.put("atpg", key, run)
+    return run
 
 
 def _report_sca(sca: ScaAnalysis) -> None:

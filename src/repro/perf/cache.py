@@ -67,6 +67,7 @@ ARTIFACT_VERSIONS: dict[str, int] = {
     # gates mis-injected output stuck-at-0 under the old precedence).
     "simulator-source": 2,
     "sca": 1,
+    "atpg": 1,
 }
 
 #: On-disk layout version; bump to orphan every existing entry at once.
