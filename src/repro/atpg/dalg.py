@@ -245,9 +245,17 @@ class _DAlgorithm:
 
     # ----------------------------------------------------------------- search
 
+    def _line_name(self, line: int) -> str:
+        return self.netlist.gate(line).name or str(line)
+
+    def _frontier_size(self) -> int:
+        """D-frontier size for trace events (only computed when tracing)."""
+        return len(self.model.d_frontier(self.values))
+
     def run(self) -> SearchOutcome:
         decisions = 0
         backtracks = 0
+        trace = self.budget.trace
         conflict = not self._init()
         # Frames: [snapshot, alternatives, index of the alternative in force].
         stack: list[list] = []
@@ -272,6 +280,15 @@ class _DAlgorithm:
                     decisions += 1
                     line, value = alternatives[0]
                     conflict = not self._assign(line, value)
+                    if trace is not None:
+                        trace.record(
+                            "decision",
+                            self._line_name(line),
+                            value,
+                            len(stack),
+                            d_frontier=self._frontier_size(),
+                            j_frontier=len(self.j_frontier),
+                        )
                     continue
                 conflict = True
             # Conflict: advance the deepest frame with an untried branch.
@@ -292,6 +309,15 @@ class _DAlgorithm:
                     frame[2] = position + 1
                     line, value = alternatives[position + 1]
                     conflict = not self._assign(line, value)
+                    if trace is not None:
+                        trace.record(
+                            "backtrack",
+                            self._line_name(line),
+                            value,
+                            len(stack),
+                            d_frontier=self._frontier_size(),
+                            j_frontier=len(self.j_frontier),
+                        )
                     break
                 stack.pop()
             else:

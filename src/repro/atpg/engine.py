@@ -21,19 +21,25 @@ missed and reports the combined functional + structural coverage.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.progress import ProgressMeter
 
 from repro.atpg.dalg import d_algorithm_search
 from repro.atpg.model import FaultedCircuit, StateCodeConstraint
 from repro.atpg.podem import podem_search
 from repro.atpg.search import (
     DEFAULT_BACKTRACK_LIMIT,
+    DEFAULT_TRACE_CAPACITY,
     STATUS_ABORTED,
     STATUS_TEST,
     STATUS_UNTESTABLE,
     SearchBudget,
+    SearchEvent,
     SearchOutcome,
+    SearchTrace,
 )
 from repro.core.config import FaultSimConfig
 from repro.core.testset import ScanTest, Segment, SegmentKind, TestSet
@@ -88,6 +94,12 @@ class FaultVerdict:
     witness: bool | None
     #: ``True`` when a static sca certificate exists and agrees.
     certified: bool
+    #: Search forensics: the retained ring-buffer events (aborted targets
+    #: always keep theirs; the hardest-N by backtracks keep theirs too).
+    search_trace: tuple[SearchEvent, ...] | None = None
+    #: Total events the search recorded (``> len(search_trace)`` when the
+    #: ring wrapped); 0 when tracing was off.
+    trace_total: int = 0
 
     def to_dict(self) -> dict[str, object]:
         payload: dict[str, object] = {
@@ -112,6 +124,12 @@ class FaultVerdict:
             payload["aborted_reason"] = self.aborted_reason
         if self.status == STATUS_UNTESTABLE:
             payload["certified"] = self.certified
+        if self.search_trace is not None:
+            payload["search_trace"] = {
+                "total": self.trace_total,
+                "dropped": self.trace_total - len(self.search_trace),
+                "events": [event.to_dict() for event in self.search_trace],
+            }
         return payload
 
 
@@ -244,6 +262,19 @@ def _expand_cube(
     return state, combo, (code << pi) | combo
 
 
+def _fault_progress(label: str, total: int) -> "ProgressMeter | None":
+    """A live per-fault heartbeat when ``--progress`` is on, else ``None``.
+
+    The ETA before the first verdict comes from ledger history of past
+    ``atpg`` runs on this circuit (see :mod:`repro.obs.progress`).
+    """
+    from repro.obs.progress import meter
+
+    return meter(
+        f"atpg {label}", total, command="atpg", circuits=(label,)
+    )
+
+
 def generate_structural_tests(
     circuit: ScanCircuit,
     table: StateTable,
@@ -256,6 +287,8 @@ def generate_structural_tests(
     certificates: Iterable[UntestableCertificate] | Mapping[StuckAtFault, UntestableCertificate] | None = None,
     replay: bool = True,
     config: FaultSimConfig | None = None,
+    trace_capacity: int = DEFAULT_TRACE_CAPACITY,
+    trace_hardest: int = 5,
 ) -> AtpgRun:
     """Run structural ATPG over ``faults`` (collapsed representatives).
 
@@ -263,6 +296,14 @@ def generate_structural_tests(
     circuit's netlist.  ``certificates`` (when given) are the static
     untestability proofs to cross-validate against.  ``replay`` controls
     the machine-checked witness pass through the fault simulator.
+
+    Every fault's search runs with a bounded ring-buffer
+    :class:`~repro.atpg.search.SearchTrace` of ``trace_capacity`` events.
+    The trace is *kept* on the verdict for every aborted target and for
+    the ``trace_hardest`` targets with the most backtracks (ties broken by
+    decisions, then fault order) — the forensic record
+    ``repro-fsatpg explain --fault`` replays.  ``trace_capacity=0``
+    disables tracing entirely.
     """
     if algorithm not in _SEARCHERS:
         raise AtpgError(
@@ -291,11 +332,15 @@ def generate_structural_tests(
             circuit, table, list(faults), config or FaultSimConfig()
         )
     verdicts: list[FaultVerdict] = []
+    traces: list[SearchTrace | None] = []
+    progress = _fault_progress(netlist.name or table.name, len(faults))
     for fault in faults:
-        budget = SearchBudget(backtrack_limit, time_budget_s)
+        trace = SearchTrace(trace_capacity) if trace_capacity > 0 else None
+        budget = SearchBudget(backtrack_limit, time_budget_s, trace)
         outcome: SearchOutcome = searcher(
             FaultedCircuit(netlist, fault), scoap, constraint, budget
         )
+        traces.append(trace)
         state = combo = pattern = None
         witness: bool | None = None
         if outcome.status == STATUS_TEST:
@@ -334,6 +379,36 @@ def generate_structural_tests(
             )
         )
         histogram_observe("atpg.decisions", outcome.decisions)
+        if progress is not None:
+            progress.update()
+    if progress is not None:
+        progress.finish()
+    # Persist forensics for the aborted targets (always) plus the
+    # hardest-N by search effort; everything else drops its trace so the
+    # run stays light to pickle, cache, and serialize.
+    keep = {
+        index
+        for index, verdict in enumerate(verdicts)
+        if verdict.status == STATUS_ABORTED
+    }
+    if trace_hardest > 0:
+        hardest = sorted(
+            range(len(verdicts)),
+            key=lambda i: (
+                -verdicts[i].backtracks,
+                -verdicts[i].decisions,
+                i,
+            ),
+        )[:trace_hardest]
+        keep.update(hardest)
+    for index in keep:
+        trace = traces[index]
+        if trace is not None and trace.total:
+            verdicts[index] = replace(
+                verdicts[index],
+                search_trace=trace.events(),
+                trace_total=trace.total,
+            )
     run = AtpgRun(
         circuit=netlist.name or table.name,
         algorithm=algorithm,

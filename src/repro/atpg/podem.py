@@ -136,6 +136,7 @@ class _Podem:
     def _check(self) -> str:
         model = self.model
         values = self.values
+        self._open_frontier = []
         if self.constraint is not None and not self.constraint.feasible(
             self._state_bits()
         ):
@@ -243,9 +244,13 @@ class _Podem:
 
     # --------------------------------------------------------------- search
 
+    def _line_name(self, line: int) -> str:
+        return self.netlist.gate(line).name or str(line)
+
     def run(self) -> SearchOutcome:
         decisions = 0
         backtracks = 0
+        trace = self.budget.trace
         # Decision stack entries: [input line, tried value, flipped?].
         stack: list[list[int]] = []
         self._simulate()
@@ -271,6 +276,14 @@ class _Podem:
                     self.assignment[line] = value
                     self._update(line)
                     decisions += 1
+                    if trace is not None:
+                        trace.record(
+                            "decision",
+                            self._line_name(line),
+                            value,
+                            len(stack),
+                            d_frontier=len(self._open_frontier),
+                        )
                     continue
             # Dead branch: flip the deepest untried decision.
             while stack:
@@ -289,6 +302,14 @@ class _Podem:
                     entry[1] ^= 1
                     self.assignment[entry[0]] = entry[1]
                     self._update(entry[0])
+                    if trace is not None:
+                        trace.record(
+                            "backtrack",
+                            self._line_name(entry[0]),
+                            entry[1],
+                            len(stack),
+                            d_frontier=len(self._open_frontier),
+                        )
                     break
                 stack.pop()
                 del self.assignment[entry[0]]

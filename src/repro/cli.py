@@ -610,7 +610,9 @@ def _run_observed(args: argparse.Namespace):
     options = _options_from(args)
     jobs = getattr(args, "jobs", 1) or 1
     table_text = ""
-    with obs.observing() as session:
+    # Diagnostic commands opt into tracemalloc-backed per-span peak-memory
+    # attribution; ledgered/bench runs keep it off (real overhead).
+    with obs.observing(deep_memory=True) as session:
         experiments.warm_studies(circuits, options, jobs=jobs)
         if number is not None:
             if number in (2, 3):
@@ -680,10 +682,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     import json as _json
 
-    from repro.obs.report import aggregate_spans, render_stats
+    from repro.obs.report import aggregate_spans, pool_utilization, render_stats
 
     session, table_text = _run_observed(args)
     if args.format == "json":
+        metrics = session.registry.snapshot()
         print(_json.dumps(
             {
                 "target": args.target,
@@ -694,10 +697,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                         "total_s": stat.total_s,
                         "self_s": stat.self_s,
                         "mean_ms": stat.mean_ms,
+                        "cpu_s": stat.cpu_s,
+                        "self_cpu_s": stat.self_cpu_s,
+                        "mem_peak_bytes": stat.mem_peak_bytes,
                     }
                     for stat in aggregate_spans(session.tracer.events)
                 ],
-                "metrics": session.registry.snapshot(),
+                "pool": pool_utilization(metrics),
+                "metrics": metrics,
             },
             indent=2,
         ))
@@ -715,10 +722,22 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_history(args: argparse.Namespace) -> int:
-    from repro.obs.history import render_history
+    import json as _json
+
+    from repro.obs.history import command_records, render_history
     from repro.obs.ledger import read_records
 
-    print(render_history(read_records(), args.target, limit=args.limit))
+    records = read_records()
+    if args.format == "json":
+        selected = command_records(records, args.target)
+        shown = selected[-args.limit:] if args.limit > 0 else selected
+        print(_json.dumps(
+            {"command": args.target, "total": len(selected),
+             "records": list(shown)},
+            indent=2,
+        ))
+        return 0
+    print(render_history(records, args.target, limit=args.limit))
     return 0
 
 
@@ -749,6 +768,7 @@ def _cmd_regress(args: argparse.Namespace) -> int:
         jobs=max(1, args.jobs),
         threshold_pct=args.threshold,
         min_seconds=args.min_seconds,
+        min_rss_kb=args.min_rss_kb,
     )
     if report is not None:
         print(report.render())
@@ -765,6 +785,75 @@ def _state_labels(machine: str) -> tuple[str, ...]:
         return ()
 
 
+def _explain_fault(args: argparse.Namespace, circuits: tuple[str, ...]) -> int:
+    """Replay one fault's ATPG search with a deep forensic trace.
+
+    The per-fault ring buffer kept on sweep verdicts holds the *last*
+    ``trace_capacity`` events; this re-runs the single target with a much
+    larger buffer so the whole decision/backtrack history is available,
+    then renders it as an indented tree (or JSON).
+    """
+    import json as _json
+
+    from repro.atpg import generate_structural_tests
+    from repro.harness.experiments import CircuitStudy
+
+    name = circuits[0]
+    options = _options_from(args)
+    study = CircuitStudy(name, options)
+    scan, sca, table = study.scan_circuit, study.sca, study.table
+    faults = list(study.stuck_at_faults)
+    wanted = args.fault
+    matches = [f for f in faults if f.site() == wanted]
+    if not matches:
+        close = [f.site() for f in faults if wanted in f.site()][:8]
+        hint = f" (close: {', '.join(close)})" if close else ""
+        print(f"error: no collapsed fault {wanted!r} in {name}; "
+              f"{len(faults)} representative(s){hint}", file=sys.stderr)
+        return 2
+    run = generate_structural_tests(
+        scan,
+        table,
+        matches[:1],
+        algorithm=args.algorithm,
+        backtrack_limit=args.backtrack_limit,
+        certificates=sca.certificates,
+        trace_capacity=args.trace_capacity,
+        trace_hardest=1,
+    )
+    verdict = run.verdicts[0]
+    if args.format == "json":
+        payload = verdict.to_dict()
+        payload["circuit"] = name
+        payload["algorithm"] = args.algorithm
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"fault        {verdict.fault.site()}  (circuit {name})")
+    print(f"algorithm    {args.algorithm} "
+          f"(backtrack limit {args.backtrack_limit})")
+    outcome = verdict.status
+    if verdict.aborted_reason:
+        outcome += f" [{verdict.aborted_reason}]"
+    print(f"verdict      {outcome} after {verdict.decisions} decision(s), "
+          f"{verdict.backtracks} backtrack(s)")
+    if verdict.pattern is not None:
+        print(f"test         pattern {verdict.pattern:#x} "
+              f"(state {verdict.state}, input {verdict.combo})")
+    events = verdict.search_trace or ()
+    dropped = verdict.trace_total - len(events)
+    suffix = f" ({dropped} earlier event(s) evicted)" if dropped > 0 else ""
+    print(f"trace        {len(events)} of {verdict.trace_total} "
+          f"search event(s){suffix}")
+    for position, event in enumerate(events, 1):
+        indent = "  " * max(1, event.depth)
+        frontier = f"|D|={event.d_frontier}"
+        if event.j_frontier:
+            frontier += f" |J|={event.j_frontier}"
+        print(f"  #{position:<4d}{indent}{event.kind:<9s} "
+              f"{event.line}={event.value}  depth {event.depth}  {frontier}")
+    return 0
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     import json as _json
 
@@ -772,6 +861,8 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.obs.provenance import decision_summary
 
     _number, circuits = _trace_targets(args)
+    if args.fault:
+        return _explain_fault(args, circuits)
     transition: tuple[int, int] | None = None
     if args.transition:
         parts = args.transition.split(",")
@@ -908,6 +999,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("-q", "--quiet", action="store_true",
                         dest="quiet_global",
                         help="errors only on stderr")
+    parser.add_argument("--progress", action="store_true",
+                        dest="progress_global",
+                        help="live heartbeat lines (done/total, rate, ETA "
+                        "from the run ledger) for long sweeps")
     parser.add_argument("--no-ledger", action="store_true",
                         help="do not append this run to the run ledger")
     parser.add_argument("--ledger-dir", default=None, metavar="PATH",
@@ -1213,6 +1308,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     history.add_argument("target",
                          help="ledgered command name (table5, bench, ...)")
+    history.add_argument("--format", choices=("human", "json"),
+                         default="human",
+                         help="human: fixed-width trend table; json: the "
+                         "raw ledger records")
     history.add_argument("--limit", type=int, default=20,
                          help="most recent runs to show (default: 20)")
     history.set_defaults(func=_cmd_history)
@@ -1249,12 +1348,17 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="S",
                          help="noise floor: stages under S seconds in both "
                          "runs are never flagged (default: 0.1)")
+    regress.add_argument("--min-rss-kb", type=float, default=51200.0,
+                         metavar="KB",
+                         help="memory-gate floor: peak RSS under KB always "
+                         "passes regardless of growth (default: 51200 = "
+                         "50 MiB, the interpreter-baseline noise band)")
     regress.set_defaults(func=_cmd_regress)
 
     explain = sub.add_parser(
         "explain",
         help="decision provenance: why each transition was chained or "
-        "scan-terminated",
+        "scan-terminated (or, with --fault, one ATPG search's forensics)",
     )
     explain.add_argument("target",
                          help="what to explain: table2..table9 or a "
@@ -1265,6 +1369,23 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--transition", default=None, metavar="S,I",
                          help="only the decision for state S under input "
                          "combination I")
+    explain.add_argument("--fault", default=None, metavar="ID",
+                         help="replay one collapsed fault's structural "
+                         "search (an ID like 'g7.pin1/sa1' from "
+                         "`atpg --format json`) with a deep trace")
+    explain.add_argument("--algorithm", choices=("podem", "d"),
+                         default="podem",
+                         help="search algorithm for --fault replays")
+    explain.add_argument("--backtrack-limit", type=int, default=100_000,
+                         metavar="N",
+                         help="backtrack budget for --fault replays")
+    explain.add_argument("--trace-capacity", type=int, default=65536,
+                         metavar="N",
+                         help="forensic ring-buffer size for --fault "
+                         "replays (default: 65536 events)")
+    explain.add_argument("--max-fanin", type=int, default=4,
+                         help="synthesis fan-in bound for --fault replays "
+                         "(0 = unbounded)")
     explain.add_argument("--format", choices=("human", "json"),
                          default="human")
     explain.add_argument("--uio-length", type=int, default=None)
@@ -1337,7 +1458,8 @@ def _semantic_args(args: argparse.Namespace) -> dict:
 
 
 def _append_ledger(args: argparse.Namespace, argv: Sequence[str],
-                   session, exit_code: int, wall_s: float) -> None:
+                   session, exit_code: int, wall_s: float,
+                   resources: dict | None = None) -> None:
     from repro.obs.ledger import append_record, build_record
     from repro.obs.provenance import decision_summary
     from repro.perf.cache import active_cache
@@ -1346,6 +1468,7 @@ def _append_ledger(args: argparse.Namespace, argv: Sequence[str],
     cache = active_cache()
     record = build_record(
         args.command,
+        resources=resources,
         semantic_args=semantics,
         argv=argv,
         circuits=getattr(args, "_ledger_circuits", None)
@@ -1390,11 +1513,14 @@ def _run_command(args: argparse.Namespace, argv: Sequence[str]) -> int:
     import time as _time
 
     from repro import obs
+    from repro.obs.resources import UsageProbe
 
     started = _time.perf_counter()
+    probe = UsageProbe()
     with obs.observing() as session:
         code = args.func(args)
     wall_s = _time.perf_counter() - started
+    resources = probe.sample().to_dict()
     if trace_out:
         _write_chrome_trace(trace_out, session.tracer.events)
         print(f"wrote {len(session.tracer.events)} span(s) to {trace_out}",
@@ -1403,7 +1529,7 @@ def _run_command(args: argparse.Namespace, argv: Sequence[str]) -> int:
         _write_metrics(metrics_out, session.registry)
         print(f"wrote metrics snapshot to {metrics_out}", file=sys.stderr)
     if wants_ledger:
-        _append_ledger(args, argv, session, code, wall_s)
+        _append_ledger(args, argv, session, code, wall_s, resources)
     return code
 
 
@@ -1418,6 +1544,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(arglist)
     _normalize(args)
     set_verbosity(verbosity_from_flags(args.verbose_global, args.quiet_global))
+    from repro.obs.progress import enable_progress, set_command_context
+
+    # The command name keys ledger-history ETA lookups for every meter
+    # that does not name its own command (the sweep phases).
+    set_command_context(args.command)
+    if args.progress_global:
+        enable_progress(True)
     # The ledger flags work through the environment variable so worker
     # processes and in-process helpers all see the same setting.
     if args.no_ledger:

@@ -42,6 +42,7 @@ from repro.obs.log import (
 )
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    SECONDS_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -61,7 +62,23 @@ from repro.obs.provenance import (
     provenance_active,
     set_provenance,
 )
-from repro.obs.report import aggregate_spans, render_stats
+from repro.obs.report import (
+    aggregate_spans,
+    pool_utilization,
+    render_pool,
+    render_stats,
+)
+from repro.obs.resources import (
+    ResourceUsage,
+    UsageProbe,
+    absorb_child_usage,
+    deep_memory_active,
+    disable_deep_memory,
+    drain_worker_usage,
+    enable_deep_memory,
+    process_usage,
+    reset_worker_usage,
+)
 from repro.obs.trace import (
     SpanRecord,
     Tracer,
@@ -81,6 +98,7 @@ from repro.obs.trace import (
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "SECONDS_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -90,10 +108,19 @@ __all__ = [
     "Observation",
     "ProvenanceEvent",
     "ProvenanceLog",
+    "ResourceUsage",
     "SpanRecord",
     "Tracer",
+    "UsageProbe",
+    "absorb_child_usage",
     "absorb_snapshot",
     "aggregate_spans",
+    "deep_memory_active",
+    "disable_deep_memory",
+    "drain_worker_usage",
+    "enable_deep_memory",
+    "process_usage",
+    "reset_worker_usage",
     "complete_event",
     "counter_add",
     "current_provenance",
@@ -111,7 +138,9 @@ __all__ = [
     "is_active",
     "metrics_active",
     "observing",
+    "pool_utilization",
     "provenance_active",
+    "render_pool",
     "render_span_tree",
     "render_stats",
     "set_provenance",
@@ -141,14 +170,25 @@ class Observation:
 
 @dataclass
 class ObsSnapshot:
-    """Picklable spans + metrics + provenance drained from one process."""
+    """Picklable spans + metrics + provenance drained from one process.
+
+    ``resources`` carries the worker's CPU delta since its previous drain
+    plus its RSS high-water mark (:class:`repro.obs.resources.ResourceUsage`
+    as a dict), merged into the parent's child-usage accumulator on absorb.
+    """
 
     spans: list[SpanRecord] = field(default_factory=list)
     metrics: dict[str, Any] = field(default_factory=dict)
     provenance: list[ProvenanceEvent] = field(default_factory=list)
+    resources: dict[str, Any] | None = None
 
     def __bool__(self) -> bool:
-        return bool(self.spans) or bool(self.metrics) or bool(self.provenance)
+        return (
+            bool(self.spans)
+            or bool(self.metrics)
+            or bool(self.provenance)
+            or self.resources is not None
+        )
 
 
 def enable() -> Observation:
@@ -174,15 +214,25 @@ def is_active() -> bool:
 
 
 @contextmanager
-def observing() -> Iterator[Observation]:
-    """Enable span + metric collection for a block; restores prior state."""
+def observing(*, deep_memory: bool = False) -> Iterator[Observation]:
+    """Enable span + metric collection for a block; restores prior state.
+
+    ``deep_memory=True`` additionally turns on tracemalloc-based per-span
+    peak attribution for the block (real overhead — diagnostic runs only).
+    """
     previous_tracer = current_tracer()
     previous_registry = current_registry()
     previous_provenance = current_provenance()
     session = enable()
+    mem_enabled = False
+    if deep_memory and not deep_memory_active():
+        enable_deep_memory()
+        mem_enabled = True
     try:
         yield session
     finally:
+        if mem_enabled:
+            disable_deep_memory()
         set_tracer(previous_tracer)
         set_registry(previous_registry)
         set_provenance(previous_provenance)
@@ -204,6 +254,7 @@ def enable_in_worker() -> None:
     global _IN_WORKER
     _IN_WORKER = True
     enable()
+    reset_worker_usage()
 
 
 def in_worker() -> bool:
@@ -230,6 +281,7 @@ def worker_snapshot() -> ObsSnapshot | None:
         set_registry(MetricsRegistry())
     if provenance is not None:
         snapshot.provenance = provenance.snapshot(reset=True)
+    snapshot.resources = drain_worker_usage().to_dict()
     return snapshot
 
 
@@ -253,3 +305,5 @@ def absorb_snapshot(
     provenance = current_provenance()
     if provenance is not None and snapshot.provenance:
         provenance.absorb(snapshot.provenance)
+    if snapshot.resources is not None:
+        absorb_child_usage(ResourceUsage.from_dict(snapshot.resources))

@@ -43,6 +43,7 @@ __all__ = [
     "LEDGER_ENV",
     "LEDGER_FILENAME",
     "SCHEDULING_METRICS",
+    "SCHEDULING_METRIC_PREFIXES",
     "ledger_dir",
     "ledger_enabled",
     "args_hash",
@@ -56,7 +57,11 @@ __all__ = [
 ]
 
 #: Schema tag stored in every record; bump on layout changes.
-LEDGER_SCHEMA = "repro-fsatpg-ledger/1"
+#:
+#: * ``/1`` — initial layout (PR 5).
+#: * ``/2`` — adds the required ``resources`` block (CPU user/system
+#:   seconds and max-RSS KiB for the whole invocation, workers included).
+LEDGER_SCHEMA = "repro-fsatpg-ledger/2"
 
 LEDGER_ENV = "REPRO_LEDGER_DIR"
 LEDGER_FILENAME = "ledger.jsonl"
@@ -73,6 +78,12 @@ SCHEDULING_METRICS: frozenset[str] = frozenset(
         "faultsim.compiled_universes",
     }
 )
+
+#: Metric-name prefixes that are scheduling-shaped as a family: the pool
+#: utilization telemetry (``pool.worker.<i>.busy_s``, ``pool.task_s``, ...)
+#: only exists for ``--jobs N`` runs and its values depend on worker count
+#: and dispatch order, so the whole namespace is dropped from records.
+SCHEDULING_METRIC_PREFIXES: tuple[str, ...] = ("pool.",)
 
 _LOG = get_logger("ledger")
 
@@ -144,6 +155,7 @@ def curated_metrics(snapshot: Mapping[str, Any]) -> dict[str, Any]:
         name: snapshot[name]
         for name in sorted(snapshot)
         if name not in SCHEDULING_METRICS
+        and not name.startswith(SCHEDULING_METRIC_PREFIXES)
     }
 
 
@@ -162,8 +174,20 @@ def build_record(
     provenance: Mapping[str, Any] | None = None,
     cache_hits: int = 0,
     cache_misses: int = 0,
+    resources: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
-    """Assemble one schema-conformant ledger record."""
+    """Assemble one schema-conformant ledger record.
+
+    ``resources`` is a :meth:`repro.obs.resources.ResourceUsage.to_dict`
+    mapping for the invocation (the CLI samples a
+    :class:`~repro.obs.resources.UsageProbe` spanning the command, which
+    folds in worker-process deltas).  When omitted, the process's own
+    cumulative usage is recorded so every record stays schema-valid.
+    """
+    if resources is None:
+        from repro.obs.resources import process_usage
+
+        resources = process_usage().to_dict()
     traffic = cache_hits + cache_misses
     record: dict[str, Any] = {
         "schema": LEDGER_SCHEMA,
@@ -184,6 +208,11 @@ def build_record(
             "hits": int(cache_hits),
             "misses": int(cache_misses),
             "hit_rate": (cache_hits / traffic) if traffic else 0.0,
+        },
+        "resources": {
+            "cpu_user_s": float(resources.get("cpu_user_s", 0.0)),
+            "cpu_system_s": float(resources.get("cpu_system_s", 0.0)),
+            "max_rss_kb": int(resources.get("max_rss_kb", 0)),
         },
         "metrics": curated_metrics(metrics or {}),
         "results": dict(results or {}),
@@ -254,7 +283,9 @@ def read_records(directory: Path | None = None) -> list[dict[str, Any]]:
 #: Fields stripped by :func:`normalized`: run identity and anything timing-
 #: or scheduling-shaped.  ``argv`` and ``jobs`` go too — ``--jobs 2`` and a
 #: serial run of the same workload must normalize identically.
-_VOLATILE_FIELDS = ("ts", "git_sha", "argv", "jobs", "wall_s", "cache")
+_VOLATILE_FIELDS = (
+    "ts", "git_sha", "argv", "jobs", "wall_s", "cache", "resources",
+)
 
 
 def normalized(record: Mapping[str, Any]) -> dict[str, Any]:
@@ -295,6 +326,7 @@ def validate_record(record: Any) -> list[str]:
         ("wall_s", (int, float)),
         ("stage_seconds", dict),
         ("cache", dict),
+        ("resources", dict),
         ("metrics", dict),
         ("results", dict),
     ):
@@ -314,6 +346,12 @@ def validate_record(record: Any) -> list[str]:
         for key in ("hits", "misses", "hit_rate"):
             if not isinstance(cache.get(key), (int, float)):
                 problems.append(f"cache.{key} missing or non-numeric")
+    usage = record.get("resources")
+    if isinstance(usage, dict):
+        for key in ("cpu_user_s", "cpu_system_s", "max_rss_kb"):
+            value = usage.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(f"resources.{key} missing or non-numeric")
     circuits = record.get("circuits")
     if isinstance(circuits, list):
         for item in circuits:

@@ -22,6 +22,7 @@ from typing import Any, Mapping
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "SECONDS_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -38,6 +39,15 @@ __all__ = [
 #: for node counts, frontier sizes, and per-batch detection counts alike.
 DEFAULT_BUCKETS: tuple[float, ...] = (
     0, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 10000, 100000,
+)
+
+#: Bucket bounds for durations in seconds (task latencies, span times):
+#: 1ms .. 1min, roughly logarithmic.  The count-scale DEFAULT_BUCKETS puts
+#: every sub-second latency in its bottom bucket, which hides exactly the
+#: distribution the pool telemetry exists to show.
+SECONDS_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    30.0, 60.0,
 )
 
 

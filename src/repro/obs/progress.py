@@ -1,0 +1,242 @@
+"""Live progress heartbeats with ledger-informed ETA (``--progress``).
+
+A :class:`ProgressMeter` emits throttled ``done/total`` heartbeat lines
+through the structured logger's NOTE level (default-visible, stderr), so
+long sweeps — the 31-circuit ATPG run, a multi-circuit table regeneration
+— stop being silent for minutes at a time::
+
+    [note ] progress: atpg planet: 128/442 (12.3/s, eta 26s)
+
+ETA sources, best first:
+
+* **Measured rate** — once at least one item completed, the remaining
+  count over the observed rate.  This is exact for homogeneous work and
+  self-correcting for skewed work.
+* **Ledger history** — before the first completion, the cost model
+  predicts total wall seconds from past ledger records of the same
+  command on *similar workloads*: each record's wall seconds are divided
+  by its summed workload units (``N_ST × 2^N_PIC`` per circuit — the
+  transition count the paper's tables scale with), and the median
+  seconds-per-unit rate prices the current circuit set.  This is the
+  first consumer of the ledger-driven cost prediction ROADMAP item 5
+  (campaign bin-packing) builds on.
+
+Everything is off unless :func:`enable_progress` was called (the CLI's
+``--progress`` flag); :func:`meter` returns ``None`` when disabled so
+instrumented loops cost one ``None`` check.
+"""
+
+from __future__ import annotations
+
+import time
+from statistics import median
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.obs.log import get_logger
+
+__all__ = [
+    "CostModel",
+    "ProgressMeter",
+    "enable_progress",
+    "meter",
+    "predict_wall_s",
+    "progress_enabled",
+    "set_command_context",
+]
+
+_LOG = get_logger("progress")
+
+_ENABLED = False
+
+#: The CLI command currently executing (set by ``repro-fsatpg``'s driver);
+#: meters without an explicit ``command`` predict their ETA from this
+#: command's ledger history.
+_COMMAND: str | None = None
+
+
+def enable_progress(on: bool = True) -> None:
+    """Turn heartbeat emission on or off process-wide."""
+    global _ENABLED
+    _ENABLED = on
+
+
+def progress_enabled() -> bool:
+    return _ENABLED
+
+
+def set_command_context(command: str | None) -> None:
+    """Name the running CLI command for default ETA lookups."""
+    global _COMMAND
+    _COMMAND = command
+
+
+class ProgressMeter:
+    """Throttled done/total heartbeat with rate and ETA.
+
+    ``interval_s`` bounds the emission rate, not the update rate —
+    ``update()`` is cheap enough to call per item.  ``expected_s`` seeds
+    the ETA before the first completion (usually a cost-model prediction).
+    """
+
+    def __init__(
+        self,
+        label: str,
+        total: int,
+        *,
+        interval_s: float = 1.0,
+        expected_s: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        emit: Callable[[str], None] | None = None,
+    ) -> None:
+        self.label = label
+        self.total = total
+        self.done = 0
+        self.interval_s = interval_s
+        self.expected_s = expected_s
+        self._clock = clock
+        self._emit = emit if emit is not None else self._emit_note
+        self._start = clock()
+        self._last_emit = self._start - interval_s  # first update may emit
+        self.emitted = 0
+
+    @staticmethod
+    def _emit_note(line: str) -> None:
+        _LOG.note(line)
+
+    def eta_s(self) -> float | None:
+        """Seconds remaining: measured rate, else the seeded expectation."""
+        if self.done > 0:
+            elapsed = self._clock() - self._start
+            if elapsed > 0:
+                rate = self.done / elapsed
+                return (self.total - self.done) / rate if rate > 0 else None
+        if self.expected_s is not None:
+            return max(0.0, self.expected_s - (self._clock() - self._start))
+        return None
+
+    def _line(self) -> str:
+        elapsed = self._clock() - self._start
+        rate = self.done / elapsed if elapsed > 0 else 0.0
+        eta = self.eta_s()
+        eta_text = f", eta {eta:.0f}s" if eta is not None else ""
+        return (
+            f"{self.label}: {self.done}/{self.total} "
+            f"({rate:.1f}/s{eta_text})"
+        )
+
+    def update(self, done: int = 1) -> None:
+        """Advance by ``done`` items; emits when the throttle window passed."""
+        self.done += done
+        now = self._clock()
+        if self.done < self.total and now - self._last_emit < self.interval_s:
+            return
+        self._last_emit = now
+        self.emitted += 1
+        self._emit(self._line())
+
+    def finish(self) -> None:
+        """Emit the final line (idempotent once ``done == total``)."""
+        if self.done < self.total:
+            self.done = self.total
+        elapsed = self._clock() - self._start
+        rate = self.total / elapsed if elapsed > 0 else 0.0
+        self.emitted += 1
+        self._emit(
+            f"{self.label}: done {self.total}/{self.total} "
+            f"in {elapsed:.1f}s ({rate:.1f}/s)"
+        )
+
+
+# ------------------------------------------------------------------ cost model
+
+
+def _workload_units(circuits: Iterable[str]) -> float:
+    """Σ over circuits of N_ST × 2^N_PI — the transition count each table
+    command and ATPG sweep scales with.  Unknown circuits contribute 0."""
+    from repro.benchmarks.registry import circuit_names, get_spec
+
+    known = set(circuit_names())
+    units = 0.0
+    for name in circuits:
+        if name not in known:
+            continue
+        units += float(get_spec(name).n_transitions)
+    return units
+
+
+class CostModel:
+    """Seconds-per-workload-unit rates fitted from ledger history."""
+
+    def __init__(self, records: Sequence[Mapping[str, Any]]) -> None:
+        self.records = records
+
+    def rate(self, command: str) -> float | None:
+        """Median s/unit over this command's usable ledger records."""
+        rates: list[float] = []
+        for record in self.records:
+            if record.get("command") != command:
+                continue
+            if record.get("exit_code", 0) != 0:
+                continue
+            wall_s = record.get("wall_s", 0.0)
+            if not isinstance(wall_s, (int, float)) or wall_s <= 0:
+                continue
+            circuits = record.get("circuits")
+            if not isinstance(circuits, list) or not circuits:
+                continue
+            units = _workload_units(circuits)
+            if units <= 0:
+                continue
+            rates.append(float(wall_s) / units)
+        if not rates:
+            return None
+        return median(rates)
+
+    def predict_wall_s(
+        self, command: str, circuits: Iterable[str]
+    ) -> float | None:
+        """Predicted wall seconds for ``command`` over ``circuits``."""
+        rate = self.rate(command)
+        if rate is None:
+            return None
+        units = _workload_units(circuits)
+        if units <= 0:
+            return None
+        return rate * units
+
+
+def predict_wall_s(command: str, circuits: Iterable[str]) -> float | None:
+    """ETA prediction from the active ledger, or ``None`` without history."""
+    from repro.obs.ledger import read_records
+
+    try:
+        records = read_records()
+    except Exception:  # pragma: no cover - ledger read never raises today
+        return None
+    if not records:
+        return None
+    return CostModel(records).predict_wall_s(command, circuits)
+
+
+def meter(
+    label: str,
+    total: int,
+    *,
+    command: str | None = None,
+    circuits: Iterable[str] = (),
+    interval_s: float = 1.0,
+) -> ProgressMeter | None:
+    """A live meter when ``--progress`` is on (else ``None``).
+
+    With ``command``/``circuits`` the ETA is seeded from ledger history
+    before the first item completes.
+    """
+    if not _ENABLED or total <= 0:
+        return None
+    expected_s = None
+    resolved = command if command is not None else _COMMAND
+    if resolved is not None:
+        expected_s = predict_wall_s(resolved, circuits)
+    return ProgressMeter(
+        label, total, interval_s=interval_s, expected_s=expected_s
+    )

@@ -13,6 +13,11 @@ fails on either of two regression classes:
   (test counts, total lengths, UIO statistics, fault coverage).  The
   pipeline is deterministic, so a quality delta is a behavior change by
   definition and no tolerance applies.
+* **Peak memory** — the rerun's max-RSS more than ``--threshold`` percent
+  above the baseline's ``serial_cold`` figure (schema /5 baselines record
+  a ``resources`` block per run).  Runs whose RSS stays under
+  ``--min-rss-kb`` pass unconditionally: the interpreter's own baseline
+  footprint dominates down there and percentage growth on it is noise.
 
 Timing checks always apply as configured — there is deliberately no
 "different machine, skip timing" escape hatch, because a gate with a
@@ -45,7 +50,7 @@ _LOG = get_logger("regress")
 class Regression:
     """One detected regression (timing or quality)."""
 
-    kind: str  # "stage-time" | "quality"
+    kind: str  # "stage-time" | "quality" | "memory"
     subject: str  # stage name, or "circuit.path.to.field"
     baseline: Any
     current: Any
@@ -120,13 +125,16 @@ def collect_current(
 ) -> dict[str, Any]:
     """Run the baseline workload on the current tree; return the comparable view."""
     from repro.harness.runtime import StageTimings
+    from repro.obs.resources import UsageProbe
     from repro.perf.engine import compute_studies
 
     timings = StageTimings()
+    probe = UsageProbe()
     artifacts = compute_studies(circuits, options, jobs=jobs, timings=timings)
     return {
         "stage_seconds": timings.to_dict().get("stage_seconds", {}),
         "results": {name: art.summary() for name, art in artifacts.items()},
+        "resources": probe.sample().to_dict(),
     }
 
 
@@ -144,6 +152,7 @@ def compare_reports(
     *,
     threshold_pct: float = 25.0,
     min_seconds: float = 0.1,
+    min_rss_kb: float = 51200.0,
 ) -> RegressionReport:
     """Compare a BENCH baseline against a :func:`collect_current` view."""
     report = RegressionReport()
@@ -168,6 +177,33 @@ def compare_reports(
                 Regression(
                     "stage-time", stage,
                     round(base_s, 4), round(current_s, 4),
+                    f"+{grew:.0f}%, threshold {threshold_pct:g}%",
+                )
+            )
+
+    base_resources = (
+        baseline.get("runs", {}).get("serial_cold", {}).get("resources")
+    )
+    current_resources = current.get("resources")
+    if not isinstance(base_resources, dict):
+        report.notes.append(
+            "baseline has no resources block (pre-/5 schema): "
+            "memory gate skipped"
+        )
+    elif isinstance(current_resources, dict):
+        base_kb = float(base_resources.get("max_rss_kb", 0))
+        current_kb = float(current_resources.get("max_rss_kb", 0))
+        limit_kb = max(base_kb * (1.0 + threshold_pct / 100.0), min_rss_kb)
+        if current_kb > limit_kb:
+            grew = (
+                100.0 * (current_kb - base_kb) / base_kb
+                if base_kb
+                else float("inf")
+            )
+            report.regressions.append(
+                Regression(
+                    "memory", "max_rss_kb",
+                    int(base_kb), int(current_kb),
                     f"+{grew:.0f}%, threshold {threshold_pct:g}%",
                 )
             )
@@ -214,6 +250,7 @@ def run_regress(
     jobs: int = 1,
     threshold_pct: float = 25.0,
     min_seconds: float = 0.1,
+    min_rss_kb: float = 51200.0,
 ) -> tuple[RegressionReport | None, int]:
     """CLI driver: load baseline, rerun its workload, compare.
 
@@ -238,10 +275,11 @@ def run_regress(
     report = compare_reports(
         baseline, current,
         threshold_pct=threshold_pct, min_seconds=min_seconds,
+        min_rss_kb=min_rss_kb,
     )
     if "options" not in baseline:
         report.notes.append("baseline has no options block: defaults assumed")
     schema = baseline.get("schema")
-    if schema != "repro-fsatpg-bench/4":
-        report.notes.append(f"baseline schema {schema!r} (current is /4)")
+    if schema != "repro-fsatpg-bench/5":
+        report.notes.append(f"baseline schema {schema!r} (current is /5)")
     return report, 0 if report.ok else 1

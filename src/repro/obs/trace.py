@@ -38,6 +38,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
+from repro.obs.resources import span_mem_enter, span_mem_exit
+
 __all__ = [
     "SpanRecord",
     "Tracer",
@@ -60,7 +62,16 @@ _F = TypeVar("_F", bound=Callable[..., Any])
 
 @dataclass
 class SpanRecord:
-    """One finished span.  Plain data: picklable, JSON-serializable."""
+    """One finished span.  Plain data: picklable, JSON-serializable.
+
+    ``cpu_ns`` is the process CPU time consumed inside the span
+    (``time.process_time_ns`` delta — includes child spans, exactly like
+    ``duration_ns`` does); ``mem_peak_bytes`` is the tracemalloc
+    high-water mark across the span's subtree, populated only when deep
+    memory tracking is on (:func:`repro.obs.resources.enable_deep_memory`).
+    Both are trailing keyword-style fields so existing positional
+    construction keeps working.
+    """
 
     span_id: int
     parent_id: int | None
@@ -69,6 +80,8 @@ class SpanRecord:
     duration_ns: int
     pid: int
     attrs: dict[str, Any] = field(default_factory=dict)
+    cpu_ns: int = 0
+    mem_peak_bytes: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -77,6 +90,8 @@ class SpanRecord:
             "name": self.name,
             "start_us": self.start_ns // 1000,
             "dur_us": self.duration_ns // 1000,
+            "cpu_us": self.cpu_ns // 1000,
+            "mem_peak_bytes": self.mem_peak_bytes,
             "pid": self.pid,
             "attrs": self.attrs,
         }
@@ -121,6 +136,8 @@ class Tracer:
         duration_s: float,
         *,
         start_ns: int | None = None,
+        cpu_ns: int = 0,
+        mem_peak_bytes: int = 0,
         **attrs: Any,
     ) -> SpanRecord:
         """Append an already-timed span as a child of the current span.
@@ -140,6 +157,8 @@ class Tracer:
             duration_ns,
             self.pid,
             dict(attrs),
+            cpu_ns=cpu_ns,
+            mem_peak_bytes=mem_peak_bytes,
         )
         self.record(record)
         return record
@@ -176,6 +195,8 @@ class Tracer:
                     event.duration_ns,
                     event.pid,
                     dict(event.attrs),
+                    cpu_ns=event.cpu_ns,
+                    mem_peak_bytes=event.mem_peak_bytes,
                 )
             )
 
@@ -230,7 +251,15 @@ class _SpanContext:
     when a tracer is active at entry.
     """
 
-    __slots__ = ("name", "attrs", "elapsed_s", "_tracer", "_span_id", "_start_ns")
+    __slots__ = (
+        "name",
+        "attrs",
+        "elapsed_s",
+        "_tracer",
+        "_span_id",
+        "_start_ns",
+        "_cpu_start_ns",
+    )
 
     def __init__(self, name: str, attrs: dict[str, Any]) -> None:
         self.name = name
@@ -239,6 +268,7 @@ class _SpanContext:
         self._tracer: Tracer | None = None
         self._span_id = 0
         self._start_ns = 0
+        self._cpu_start_ns = 0
 
     def set(self, **attrs: Any) -> None:
         """Attach attributes after the span started."""
@@ -250,6 +280,8 @@ class _SpanContext:
         if tracer is not None:
             self._span_id = tracer.allocate_id()
             tracer.push(self._span_id)
+            span_mem_enter()
+            self._cpu_start_ns = time.process_time_ns()
         self._start_ns = time.perf_counter_ns()
         return self
 
@@ -258,6 +290,8 @@ class _SpanContext:
         self.elapsed_s = (end_ns - self._start_ns) / 1e9
         tracer = self._tracer
         if tracer is not None:
+            cpu_ns = time.process_time_ns() - self._cpu_start_ns
+            mem_peak = span_mem_exit()
             tracer.pop()
             tracer.record(
                 SpanRecord(
@@ -268,6 +302,8 @@ class _SpanContext:
                     end_ns - self._start_ns,
                     tracer.pid,
                     self.attrs,
+                    cpu_ns=cpu_ns,
+                    mem_peak_bytes=mem_peak,
                 )
             )
 
@@ -352,6 +388,8 @@ def to_chrome(events: Sequence[SpanRecord]) -> dict[str, Any]:
                 "pid": ordinals[event.pid],
                 "tid": 0,
                 "args": {"id": event.span_id, "parent": event.parent_id,
+                         "cpu_us": event.cpu_ns / 1000.0,
+                         "mem_peak_bytes": event.mem_peak_bytes,
                          **event.attrs},
             }
         )
@@ -383,6 +421,8 @@ def events_from_jsonl(text: str) -> list[SpanRecord]:
                 int(data["dur_us"]) * 1000,
                 int(data.get("pid", 0)),
                 dict(data.get("attrs", {})),
+                cpu_ns=int(data.get("cpu_us", 0)) * 1000,
+                mem_peak_bytes=int(data.get("mem_peak_bytes", 0)),
             )
         )
     return events
@@ -395,7 +435,10 @@ def validate_chrome_trace(obj: Any) -> list[str]:
     array form.  An empty list means the trace is loadable by
     ``chrome://tracing`` / Perfetto as far as the documented required
     fields go: every event needs ``name``/``ph``/``pid``/``tid``, complete
-    events additionally need numeric ``ts`` and ``dur``.
+    events additionally need numeric ``ts`` and ``dur``.  Traces produced
+    by this package (``cat`` = ``"repro"``) must additionally carry the
+    resource-telemetry fields: numeric ``args.cpu_us`` and
+    ``args.mem_peak_bytes`` on every complete event.
     """
     problems: list[str] = []
     if isinstance(obj, dict):
@@ -425,6 +468,17 @@ def validate_chrome_trace(obj: Any) -> list[str]:
                     problems.append(f"{where}: {key!r} must be a number")
             if isinstance(event.get("dur"), (int, float)) and event["dur"] < 0:
                 problems.append(f"{where}: negative duration")
+            if event.get("cat") == "repro":
+                args = event.get("args")
+                if not isinstance(args, dict):
+                    problems.append(f"{where}: repro event lacks 'args'")
+                else:
+                    for key in ("cpu_us", "mem_peak_bytes"):
+                        if not isinstance(args.get(key), (int, float)):
+                            problems.append(
+                                f"{where}: repro event args.{key} "
+                                "must be a number"
+                            )
     return problems
 
 

@@ -38,6 +38,7 @@ from typing import Any, Sequence
 
 from repro.harness.runtime import StageTimings, stopwatch
 from repro.obs.log import get_logger, set_verbosity, verbosity_from_flags
+from repro.obs.resources import UsageProbe
 from repro.perf.cache import cache_enabled, default_cache_dir
 from repro.perf.engine import StudyArtifacts, compute_studies
 
@@ -50,7 +51,12 @@ __all__ = ["BENCH_SCHEMA", "default_bench_circuits", "run_bench", "main"]
 #: /4 adds ``stage_speedups`` (per-stage serial/parallel ratios for the
 #: cold and warm runs) and records the fault-sim ``engine`` under
 #: ``options`` so regressions pin the engine the baseline measured.
-BENCH_SCHEMA = "repro-fsatpg-bench/4"
+#: /5 adds a ``resources`` block to every run (CPU user/system seconds
+#: including workers, peak RSS) — what the ``regress`` memory gate
+#: compares — and a ``pool`` utilization block (per-worker busy/idle/task
+#: split) to the parallel runs so ``speedup_parallel_*`` is explainable
+#: from the report alone.
+BENCH_SCHEMA = "repro-fsatpg-bench/5"
 
 #: Circuits for ``--quick`` (CI smoke): small machines with non-trivial
 #: bridging universes, a few seconds per run.
@@ -72,11 +78,35 @@ def _run(
     options: Any,
 ) -> tuple[dict[str, StudyArtifacts], dict[str, Any]]:
     timings = StageTimings()
+    probe = UsageProbe()
     with stopwatch() as clock:
         artifacts = compute_studies(circuits, options, jobs=jobs, timings=timings)
     record = {"jobs": jobs, "wall_s": clock.elapsed_s}
     record.update(timings.to_dict())
+    # CPU is windowed over this run (workers included, via wait-reaped
+    # child rusage); peak RSS is a process high-water mark and can only
+    # grow monotonically across runs.
+    record["resources"] = probe.sample().to_dict()
     return artifacts, record
+
+
+def _pool_delta(
+    before: dict[str, Any] | None, after: dict[str, Any] | None
+) -> dict[str, Any] | None:
+    """Per-run pool utilization: ``after`` minus ``before`` snapshots."""
+    if before is None or after is None:
+        return None
+    workers = []
+    for b, a in zip(before["workers"], after["workers"]):
+        workers.append(
+            {
+                "worker": a["worker"],
+                "tasks": a["tasks"] - b["tasks"],
+                "busy_s": round(a["busy_s"] - b["busy_s"], 6),
+                "idle_s": round(a["idle_s"] - b["idle_s"], 6),
+            }
+        )
+    return {"queue_depth_peak": after["queue_depth_peak"], "workers": workers}
 
 
 def _stage_speedups(
@@ -148,10 +178,20 @@ def run_bench(
     n_metrics = len(session.registry)
     metrics_snapshot = session.registry.snapshot()
 
+    from repro.perf.pool import get_pool
+
     with cache_enabled(root) as cache:
         cache.clear()
+        pool = get_pool(jobs)
+        util_start = pool.utilization() if pool is not None else None
         parallel_cold, cold_record = _run(names, jobs, options)
+        pool = get_pool(jobs)
+        util_cold = pool.utilization() if pool is not None else None
+        cold_record["pool"] = _pool_delta(util_start, util_cold)
         parallel_warm, warm_record = _run(names, jobs, options)
+        pool = get_pool(jobs)
+        util_warm = pool.utilization() if pool is not None else None
+        warm_record["pool"] = _pool_delta(util_cold, util_warm)
 
     divergence = _compare(serial, parallel_cold, "parallel-cold vs serial")
     divergence += _compare(serial, parallel_warm, "parallel-warm vs serial")

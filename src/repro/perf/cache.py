@@ -67,7 +67,9 @@ ARTIFACT_VERSIONS: dict[str, int] = {
     # gates mis-injected output stuck-at-0 under the old precedence).
     "simulator-source": 2,
     "sca": 1,
-    "atpg": 1,
+    # 2: AtpgRun verdicts carry search-forensics traces (aborted and
+    # hardest-N targets); entries stored by version 1 lack them.
+    "atpg": 2,
 }
 
 #: On-disk layout version; bump to orphan every existing entry at once.

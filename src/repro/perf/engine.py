@@ -54,6 +54,7 @@ from repro.obs import (
     is_active,
     worker_snapshot,
 )
+from repro.obs.progress import meter as progress_meter
 from repro.obs.trace import span as trace_span
 from repro.perf.artifacts import (
     STAGE_FAULT_SIM,
@@ -70,6 +71,7 @@ from repro.uio.search import UioTable
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a module cycle
     from repro.harness.experiments import CircuitStudy, StudyOptions
+    from repro.obs.progress import ProgressMeter
 
 __all__ = ["StudyArtifacts", "compute_studies"]
 
@@ -406,23 +408,40 @@ def _run_phase(
     function: Callable[[Any, int], Any],
     snapshot: dict[str, Any],
     n_tasks: int,
+    *,
+    progress: "ProgressMeter | None" = None,
 ) -> list[Any]:
     """One engine phase: ``function(snapshot, i)`` for every task index.
 
     With ``jobs > 1`` the persistent pool is primed once with ``snapshot``
     and receives index-only task messages; otherwise — and whenever the
     pool cannot be created — the exact same task function runs inline, so
-    every path produces identical results.
+    every path produces identical results.  ``progress`` (a live meter
+    from :func:`repro.obs.progress.meter`, or ``None``) ticks once per
+    completed task on either path.
     """
-    if jobs <= 1 or n_tasks <= 1:
-        return [function(snapshot, index) for index in range(n_tasks)]
-    pool = get_pool(jobs)
-    if pool is None:
-        return [function(snapshot, index) for index in range(n_tasks)]
-    cache = active_cache()
-    root = str(cache.root) if cache is not None else None
-    pool.prime(snapshot, cache_root=root, obs_on=is_active())
-    return pool.run(function, n_tasks)
+    inline = jobs <= 1 or n_tasks <= 1
+    pool = None
+    if not inline:
+        pool = get_pool(jobs)
+        inline = pool is None
+    if inline:
+        results = []
+        for index in range(n_tasks):
+            results.append(function(snapshot, index))
+            if progress is not None:
+                progress.update()
+    else:
+        cache = active_cache()
+        root = str(cache.root) if cache is not None else None
+        pool.prime(snapshot, cache_root=root, obs_on=is_active())
+        on_result = None
+        if progress is not None:
+            on_result = lambda index, result: progress.update()  # noqa: E731
+        results = pool.run(function, n_tasks, on_result=on_result)
+    if progress is not None:
+        progress.finish()
+    return results
 
 
 def compute_studies(
@@ -459,7 +478,8 @@ def compute_studies(
             "names": names, "options": options, "scope": scope,
         }
         preps: list[_CircuitPrep] = _run_phase(
-            jobs, _prepare_task, prepare_snapshot, len(names)
+            jobs, _prepare_task, prepare_snapshot, len(names),
+            progress=progress_meter("prepare", len(names), circuits=names),
         )
         for prep in preps:
             absorb_snapshot(prep.obs)
@@ -508,7 +528,12 @@ def compute_studies(
             "faultsim": faultsim,
         }
         sim_results: list[tuple[list[int], StageTimings, ObsSnapshot | None]] = (
-            _run_phase(jobs, _simulate_task, simulate_snapshot, len(sim_chunks))
+            _run_phase(
+                jobs, _simulate_task, simulate_snapshot, len(sim_chunks),
+                progress=progress_meter(
+                    "simulate", len(sim_chunks), circuits=names
+                ),
+            )
         )
         for result in sim_results:
             absorb_snapshot(result[2])

@@ -34,9 +34,16 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import time
 from multiprocessing.connection import Connection, wait as connection_wait
 from typing import Any, Callable, Sequence
 
+from repro.obs.metrics import (
+    SECONDS_BUCKETS,
+    counter_add,
+    gauge_set,
+    histogram_observe,
+)
 from repro.perf.cache import ArtifactCache, set_active_cache
 
 __all__ = ["WorkerPool", "get_pool", "shutdown_pool"]
@@ -123,6 +130,14 @@ class WorkerPool:
         self._workers = [_Worker(context, i) for i in range(jobs)]
         self._snapshot: Any = None
         self._closed = False
+        # Pool-lifetime utilization accumulators (parent-clock seconds).
+        # Measured in the parent — dispatch-to-result per task — so the
+        # numbers survive worker death and need no cross-process merge;
+        # published as ``pool.worker.<i>.*`` gauges after every run.
+        self._busy_s = [0.0] * jobs
+        self._idle_s = [0.0] * jobs
+        self._tasks = [0] * jobs
+        self._queue_peak = 0
 
     # ------------------------------------------------------------ lifecycle
 
@@ -156,23 +171,48 @@ class WorkerPool:
             except (EOFError, OSError):
                 worker.kill()
 
-    def run(self, fn: TaskFn, n_tasks: int) -> list[Any]:
+    def run(
+        self,
+        fn: TaskFn,
+        n_tasks: int,
+        *,
+        on_result: Callable[[int, Any], None] | None = None,
+    ) -> list[Any]:
         """Apply ``fn(snapshot, index)`` for every index; ordered results.
 
         Dynamic scheduling: each worker gets one task up front and the next
         pending index as soon as it answers.  Tasks of dead workers (and
         everything still pending once no worker is left) run inline in the
-        parent on its own snapshot reference.
+        parent on its own snapshot reference — an inline re-run records its
+        spans and metrics directly into the parent's collectors, so nothing
+        a dead worker was asked to do goes missing from the merged log.
+
+        ``on_result(index, result)`` fires once per completed task (worker
+        or inline), in completion order — progress heartbeats hook in here.
+
+        Utilization telemetry (``pool.worker.<i>.busy_s/.idle_s/.tasks``
+        gauges, the ``pool.task_s`` latency histogram, queue/dispatch
+        counters) is recorded against the parent's metrics registry when
+        observability is on; see :func:`repro.obs.pool_utilization`.
         """
         results: list[Any] = [None] * n_tasks
         pending = list(range(n_tasks - 1, -1, -1))
         outstanding: dict[int, int] = {}  # worker slot -> task index
         first_error: BaseException | None = None
+        start = time.perf_counter()
+        sent_at: dict[int, float] = {}  # worker slot -> dispatch time
+        free_at: dict[int, float] = {}  # worker slot -> went-idle time
+        dispatched = 0
         for slot, worker in enumerate(self._workers):
-            if not worker.alive or not pending:
+            if not worker.alive:
                 continue
-            if self._send_task(worker, fn, pending[-1]):
+            if pending and self._send_task(worker, fn, pending[-1]):
                 outstanding[slot] = pending.pop()
+                sent_at[slot] = start
+                dispatched += 1
+            else:
+                free_at[slot] = start
+        self._queue_peak = max(self._queue_peak, len(pending))
         while outstanding:
             ready = connection_wait(
                 [self._workers[slot].conn for slot in outstanding]
@@ -183,31 +223,76 @@ class WorkerPool:
                 if id(worker.conn) not in ready_ids:
                     continue
                 index = outstanding.pop(slot)
+                now = time.perf_counter()
                 try:
                     message = worker.conn.recv()
                 except (EOFError, OSError):
                     # Worker died mid-task; its index goes back to pending
-                    # and the parent will pick it up inline if needed.
+                    # and the parent will pick it up inline if needed.  The
+                    # partial task's effort died with the process, but the
+                    # inline re-run reproduces both the result and its
+                    # observability in the parent.
                     worker.kill()
+                    counter_add("pool.workers.dead")
                     pending.append(index)
+                    self._queue_peak = max(self._queue_peak, len(pending))
                     continue
+                self._busy_s[slot] += now - sent_at.get(slot, start)
                 if message[0] == "err":
                     # Drain the other in-flight tasks before raising so the
                     # pipes are clean for the next run; dispatch stops here.
                     first_error = first_error or message[2]
+                    free_at[slot] = now
                     continue
+                self._tasks[slot] += 1
+                histogram_observe(
+                    "pool.task_s",
+                    now - sent_at.get(slot, start),
+                    bounds=SECONDS_BUCKETS,
+                )
                 results[message[1]] = message[2]
+                if on_result is not None:
+                    on_result(message[1], message[2])
                 if (
                     first_error is None
                     and pending
                     and self._send_task(worker, fn, pending[-1])
                 ):
                     outstanding[slot] = pending.pop()
+                    sent_at[slot] = now
+                    dispatched += 1
+                else:
+                    free_at[slot] = now
         if first_error is not None:
             raise first_error
+        if pending:
+            counter_add("pool.tasks.inline", len(pending))
         for index in reversed(pending):
+            inline_start = time.perf_counter()
             results[index] = fn(self._snapshot, index)
+            histogram_observe(
+                "pool.task_s",
+                time.perf_counter() - inline_start,
+                bounds=SECONDS_BUCKETS,
+            )
+            if on_result is not None:
+                on_result(index, results[index])
+        end = time.perf_counter()
+        for slot, went_idle in free_at.items():
+            if self._workers[slot].alive:
+                self._idle_s[slot] += end - went_idle
+        counter_add("pool.tasks.dispatched", dispatched)
+        self._publish_utilization()
         return results
+
+    def _publish_utilization(self) -> None:
+        """Set the pool-lifetime ``pool.*`` gauges in the active registry."""
+        for slot in range(self.jobs):
+            prefix = f"pool.worker.{slot}"
+            gauge_set(f"{prefix}.busy_s", self._busy_s[slot])
+            gauge_set(f"{prefix}.idle_s", self._idle_s[slot])
+            gauge_set(f"{prefix}.tasks", self._tasks[slot])
+        gauge_set("pool.queue_depth.peak", self._queue_peak)
 
     def _send_task(self, worker: _Worker, fn: TaskFn, index: int) -> bool:
         try:
@@ -215,7 +300,27 @@ class WorkerPool:
             return True
         except (OSError, BrokenPipeError):
             worker.kill()
+            counter_add("pool.workers.dead")
             return False
+
+    def utilization(self) -> dict[str, Any]:
+        """Pool-lifetime utilization snapshot (JSON-ready).
+
+        Accumulates across every :meth:`run` since the pool was forked;
+        callers wanting per-phase numbers diff two snapshots.
+        """
+        return {
+            "queue_depth_peak": self._queue_peak,
+            "workers": [
+                {
+                    "worker": slot,
+                    "tasks": self._tasks[slot],
+                    "busy_s": round(self._busy_s[slot], 6),
+                    "idle_s": round(self._idle_s[slot], 6),
+                }
+                for slot in range(self.jobs)
+            ],
+        }
 
     @property
     def n_alive(self) -> int:

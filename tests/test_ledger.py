@@ -199,7 +199,12 @@ class TestCliLedgering:
         assert record["results"]["lion"]["tests"] == 9
         assert record["cache"]["hits"] > 0
         report = json.loads(out.read_text())
-        assert report["schema"] == "repro-fsatpg-bench/4"
+        assert report["schema"] == "repro-fsatpg-bench/5"
+        for label, run in report["runs"].items():
+            assert run["resources"]["max_rss_kb"] > 0, label
+        assert report["runs"]["parallel_cold"].get("pool") is None or (
+            sum(w["tasks"] for w in report["runs"]["parallel_cold"]["pool"]["workers"]) > 0
+        )
         assert report["results"] == record["results"]
 
 
