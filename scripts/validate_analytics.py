@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Validate ``tables``/``diff`` JSON payloads from the analytics engine.
+
+Usage:  python scripts/validate_analytics.py FILE [FILE ...]
+
+Each file is parsed and dispatched on its ``schema`` field:
+
+* ``repro-fsatpg-analytics/1`` — a ``tables --format json`` payload,
+  checked with :func:`repro.obs.analytics.validate_tables_payload`
+  (finite fit parameters, R² ≤ 1, point counts matching ``fit.n``);
+* ``repro-fsatpg-diff/1`` — a ``diff --format json`` payload, checked
+  with :func:`repro.obs.analytics.validate_diff_payload` (record ids
+  present, every delta consistent with its base/current pair).
+
+Problems are reported one per line and make the script exit non-zero —
+used by the CI analytics-smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without `pip install -e .`
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.obs.analytics import (
+    ANALYTICS_SCHEMA,
+    DIFF_SCHEMA,
+    validate_diff_payload,
+    validate_tables_payload,
+)
+
+
+def check_file(path: Path) -> int:
+    """Validate one payload file; returns the number of problems."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{path}: unreadable: {exc}", file=sys.stderr)
+        return 1
+    schema = payload.get("schema") if isinstance(payload, dict) else None
+    if schema == ANALYTICS_SCHEMA:
+        problems = validate_tables_payload(payload)
+        kind = "tables"
+    elif schema == DIFF_SCHEMA:
+        problems = validate_diff_payload(payload)
+        kind = "diff"
+    else:
+        print(f"{path}: unrecognized schema {schema!r}", file=sys.stderr)
+        return 1
+    for problem in problems:
+        print(f"{path}: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"{path}: OK ({kind} payload)")
+    return len(problems)
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = argv if argv is not None else sys.argv[1:]
+    if not arguments:
+        print("usage: validate_analytics.py FILE [FILE ...]",
+              file=sys.stderr)
+        return 2
+    problems = sum(check_file(Path(argument)) for argument in arguments)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

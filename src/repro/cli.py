@@ -120,6 +120,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             "tests": result.n_tests,
             "test_length": result.total_length,
             "pct_length_one": round(result.pct_length_one, 4),
+            "clock_cycles": result.clock_cycles(),
         }
     }
     if args.verify:
@@ -724,20 +725,124 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_history(args: argparse.Namespace) -> int:
     import json as _json
 
+    from repro.obs.analytics import detect_anomalies
     from repro.obs.history import command_records, render_history
     from repro.obs.ledger import read_records
 
     records = read_records()
+    anomalies = [] if args.no_anomalies else detect_anomalies(records)
     if args.format == "json":
         selected = command_records(records, args.target)
         shown = selected[-args.limit:] if args.limit > 0 else selected
         print(_json.dumps(
             {"command": args.target, "total": len(selected),
-             "records": list(shown)},
+             "records": list(shown),
+             "anomalies": [
+                 a.to_dict() for a in anomalies if a.command == args.target
+             ]},
             indent=2,
         ))
         return 0
-    print(render_history(records, args.target, limit=args.limit))
+    print(render_history(records, args.target, limit=args.limit,
+                         anomalies=anomalies))
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.analytics import (
+        circuit_frame,
+        render_fits_latex,
+        render_fits_markdown,
+        scaling_fits,
+        tables_payload,
+    )
+    from repro.obs.ledger import read_records
+
+    records = read_records()
+    commands = [
+        name.strip() for name in args.command.split(",") if name.strip()
+    ] or None
+    if args.format == "json":
+        text = _json.dumps(
+            tables_payload(records, commands), indent=2, sort_keys=True
+        )
+    else:
+        frame = circuit_frame(records)
+        if commands is None:
+            commands = sorted(
+                {str(c) for c in frame.column("command")}
+                if len(frame) else set()
+            )
+        render = (
+            render_fits_markdown if args.format == "markdown"
+            else render_fits_latex
+        )
+        blocks = [
+            render(scaling_fits(frame.where(command=name)), name)
+            for name in commands
+        ]
+        text = "\n\n".join(blocks) if blocks else render([], "")
+    if args.out == "-":
+        print(text)
+    else:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote scaling tables ({args.format}) to {args.out}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.analytics import (
+        diff_payload,
+        diff_records,
+        resolve_record,
+    )
+    from repro.obs.analytics import render_diff as _render_diff
+    from repro.obs.ledger import read_records
+
+    records = read_records()
+    if not records:
+        print("error: the ledger is empty (nothing to diff)",
+              file=sys.stderr)
+        return 2
+    try:
+        base_index, base = resolve_record(records, args.base)
+        other_index, other = resolve_record(records, args.other)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_records(base, other, base_index, other_index)
+    if args.format == "json":
+        print(_json.dumps(diff_payload(diff), indent=2, sort_keys=True))
+    else:
+        print(_render_diff(diff, top_metrics=args.top_metrics))
+    return 0
+
+
+def _cmd_ledger_prune(args: argparse.Namespace) -> int:
+    from repro.obs.ledger import ledger_dir, prune_records
+
+    if args.keep < 1:
+        print("error: --keep must be >= 1", file=sys.stderr)
+        return 2
+    summary = prune_records(args.keep)
+    if summary is None:
+        root = ledger_dir()
+        where = "disabled" if root is None else f"empty at {root}"
+        print(f"ledger {where}; nothing to prune")
+        return 0
+    corrupt = (
+        f", dropped {summary['corrupt']} corrupt line(s)"
+        if summary["corrupt"] else ""
+    )
+    print(
+        f"kept {summary['kept']} record(s), pruned {summary['pruned']}"
+        f"{corrupt} (newest {args.keep} per circuit)"
+    )
     return 0
 
 
@@ -1314,7 +1419,41 @@ def build_parser() -> argparse.ArgumentParser:
                          "raw ledger records")
     history.add_argument("--limit", type=int, default=20,
                          help="most recent runs to show (default: 20)")
+    history.add_argument("--no-anomalies", action="store_true",
+                         help="skip the MAD-based outlier warnings")
     history.set_defaults(func=_cmd_history)
+
+    tables = sub.add_parser(
+        "tables",
+        help="asymptotic scaling fits (tests, cycles, stage seconds, RSS "
+        "vs machine size) from the run ledger",
+    )
+    tables.add_argument("--command", default="", metavar="NAMES",
+                        help="comma-separated ledgered commands to fit "
+                        "(default: every command in the ledger)")
+    tables.add_argument("--format", choices=("markdown", "latex", "json"),
+                        default="markdown",
+                        help="markdown/latex: fit + residual tables; "
+                        "json: the machine-readable payload")
+    tables.add_argument("--out", default="-", metavar="PATH",
+                        help="output path ('-' prints to stdout)")
+    tables.set_defaults(func=_cmd_tables)
+
+    diff = sub.add_parser(
+        "diff",
+        help="attribute wall-time/metric/result deltas between two "
+        "ledger records",
+    )
+    diff.add_argument("base",
+                      help="base record: 'last', 'prev', '@N'/an index, or "
+                      "a record-id / git-SHA / args-hash prefix")
+    diff.add_argument("other", nargs="?", default="last",
+                      help="other record (same selectors; default: last)")
+    diff.add_argument("--format", choices=("human", "json"),
+                      default="human")
+    diff.add_argument("--top-metrics", type=int, default=10, metavar="N",
+                      help="changed metrics to show (default: 10)")
+    diff.set_defaults(func=_cmd_diff)
 
     report = sub.add_parser(
         "report",
@@ -1405,6 +1544,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache-dir", default=None, metavar="PATH",
                        help="cache root (default: ~/.cache/repro-fsatpg)")
         p.set_defaults(func=function, cache_management=True)
+
+    ledger = sub.add_parser(
+        "ledger", help="maintain the on-disk run ledger"
+    )
+    ledger_sub = ledger.add_subparsers(dest="ledger_command", required=True)
+    prune = ledger_sub.add_parser(
+        "prune",
+        help="keep only the newest N records per circuit (atomic rewrite)",
+    )
+    prune.add_argument("--keep", type=int, required=True, metavar="N",
+                       help="records to keep per circuit")
+    prune.set_defaults(func=_cmd_ledger_prune)
     return parser
 
 

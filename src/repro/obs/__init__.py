@@ -34,6 +34,24 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro.obs.analytics import (
+    Anomaly,
+    Frame,
+    ScalingFit,
+    circuit_frame,
+    detect_anomalies,
+    diff_payload,
+    diff_records,
+    load_records,
+    record_id,
+    render_diff,
+    render_fits_latex,
+    render_fits_markdown,
+    resolve_record,
+    run_frame,
+    scaling_fits,
+    tables_payload,
+)
 from repro.obs.log import (
     ObsLogger,
     get_logger,
@@ -99,6 +117,22 @@ from repro.obs.trace import (
 __all__ = [
     "DEFAULT_BUCKETS",
     "SECONDS_BUCKETS",
+    "Anomaly",
+    "Frame",
+    "ScalingFit",
+    "circuit_frame",
+    "detect_anomalies",
+    "diff_payload",
+    "diff_records",
+    "load_records",
+    "record_id",
+    "render_diff",
+    "render_fits_latex",
+    "render_fits_markdown",
+    "resolve_record",
+    "run_frame",
+    "scaling_fits",
+    "tables_payload",
     "Counter",
     "Gauge",
     "Histogram",

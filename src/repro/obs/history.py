@@ -1,10 +1,20 @@
 """Ledger queries: trend tables and the zero-dependency HTML dashboard.
 
 ``repro-fsatpg history <command>`` renders the ledger's records for one
-command as a fixed-width trend table (newest last, like the log itself);
-``repro-fsatpg report --out report.html`` renders every command's history
-as a self-contained HTML page with inline SVG sparklines — no JavaScript,
-no external assets, safe to archive as a CI artifact.
+command as a fixed-width trend table (newest last, like the log itself),
+followed by any MAD-based anomaly warnings for that command's history;
+``repro-fsatpg report --out report.html`` renders the whole ledger as a
+self-contained dashboard — fleet summary tiles, CPU-seconds by stage,
+an anomaly panel, inline-SVG scaling plots (observed points plus the
+fitted power law from :mod:`repro.obs.analytics`), and per-command trend
+tables with sparklines.  No JavaScript, no external assets: the single
+HTML file is safe to archive as a CI artifact, and rendering is
+deterministic for a given ledger (byte-identical across runs).
+
+Degenerate ledgers render cleanly by construction: zero records produce
+the empty-ledger page, a single record produces tables without sparklines
+or plots (both need at least two points / three circuits), and a
+zero-range series draws a flat line rather than dividing by zero.
 """
 
 from __future__ import annotations
@@ -13,12 +23,21 @@ import html
 from typing import Any, Mapping, Sequence
 
 from repro.harness.tables import format_table
+from repro.obs.analytics import (
+    Anomaly,
+    ScalingFit,
+    circuit_frame,
+    detect_anomalies,
+    scaling_fits,
+)
 
 __all__ = [
     "command_records",
     "history_rows",
     "render_history",
     "sparkline",
+    "scatter_plot",
+    "fleet_summary",
     "render_html",
 ]
 
@@ -91,14 +110,30 @@ def render_history(
     records: Sequence[Mapping[str, Any]],
     command: str,
     limit: int = 20,
+    anomalies: Sequence[Anomaly] | None = None,
+    max_warnings: int = 8,
 ) -> str:
-    """Fixed-width trend table for one command (most recent ``limit`` runs)."""
+    """Fixed-width trend table for one command (most recent ``limit`` runs).
+
+    ``anomalies`` (usually :func:`repro.obs.analytics.detect_anomalies`
+    over the same records) appends warning lines for this command's
+    outlier runs — worst first, capped at ``max_warnings``.
+    """
     selected = command_records(records, command)
     if not selected:
         return f"no ledger records for {command!r}"
     shown = selected[-limit:] if limit > 0 else selected
     title = f"{command} history ({len(shown)} of {len(selected)} runs)"
-    return format_table(_HISTORY_HEADERS, history_rows(shown), title)
+    text = format_table(_HISTORY_HEADERS, history_rows(shown), title)
+    if anomalies:
+        mine = [a for a in anomalies if a.command == command]
+        if mine:
+            lines = [text, "", f"anomalies ({len(mine)} flagged):"]
+            lines += [f"  ! {a.render()}" for a in mine[:max_warnings]]
+            if len(mine) > max_warnings:
+                lines.append(f"  ... {len(mine) - max_warnings} more")
+            return "\n".join(lines)
+    return text
 
 
 # ------------------------------------------------------------------ HTML
@@ -109,9 +144,13 @@ def sparkline(
     *,
     width: int = 160,
     height: int = 32,
-    stroke: str = "#2563eb",
+    stroke: str = "var(--series-1)",
 ) -> str:
-    """An inline SVG polyline through ``values`` (empty string for < 2 points)."""
+    """An inline SVG polyline through ``values`` (empty string for < 2 points).
+
+    A zero-range series (all values equal) draws a flat midline rather
+    than scaling by a zero spread.
+    """
     if len(values) < 2:
         return ""
     low = min(values)
@@ -127,21 +166,227 @@ def sparkline(
     return (
         f'<svg class="spark" width="{width}" height="{height}" '
         f'viewBox="0 0 {width} {height}" xmlns="http://www.w3.org/2000/svg">'
-        f'<polyline fill="none" stroke="{stroke}" stroke-width="1.5" '
+        f'<polyline fill="none" stroke="{stroke}" stroke-width="2" '
         f'points="{points}"/></svg>'
     )
 
 
+def _log_ticks(low: float, high: float) -> list[float]:
+    """Decade tick positions covering [low, high] (both > 0)."""
+    import math
+
+    first = math.floor(math.log10(low))
+    last = math.ceil(math.log10(high))
+    return [10.0 ** power for power in range(first, last + 1)]
+
+
+def scatter_plot(
+    points: Sequence[tuple[str, float, float]],
+    fit: Any = None,
+    *,
+    width: int = 360,
+    height: int = 230,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Log–log scatter of ``(label, x, y)`` points with an optional fit line.
+
+    Pure inline SVG: observed circuits are dots (with native ``<title>``
+    tooltips), the fitted model is a darker line of the same hue — one
+    series, so no legend box; the caption names it.  Points must be
+    strictly positive (callers filter; the ledger's size/metric axes are).
+    Fewer than two distinct x values yield an empty string — a one-point
+    "scaling plot" is noise, not signal.
+    """
+    import math
+
+    usable = [(label, x, y) for label, x, y in points if x > 0 and y > 0]
+    if len(usable) < 2 or len({x for _, x, _ in usable}) < 2:
+        return ""
+    pad_l, pad_r, pad_t, pad_b = 46.0, 12.0, 10.0, 34.0
+    xs = [x for _, x, _ in usable]
+    ys = [y for _, _, y in usable]
+    lo_x, hi_x = min(xs) / 1.25, max(xs) * 1.25
+    lo_y, hi_y = min(ys) / 1.25, max(ys) * 1.25
+    if lo_y == hi_y:  # zero-range guard: a flat series still needs a span
+        lo_y, hi_y = lo_y / 2.0, hi_y * 2.0
+    span_x = math.log10(hi_x) - math.log10(lo_x)
+    span_y = math.log10(hi_y) - math.log10(lo_y)
+
+    def sx(x: float) -> float:
+        return pad_l + (math.log10(x) - math.log10(lo_x)) / span_x * (
+            width - pad_l - pad_r
+        )
+
+    def sy(y: float) -> float:
+        return height - pad_b - (math.log10(y) - math.log10(lo_y)) / span_y * (
+            height - pad_t - pad_b
+        )
+
+    parts = [
+        f'<svg class="plot" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img" '
+        f'xmlns="http://www.w3.org/2000/svg">'
+    ]
+    for tick in _log_ticks(lo_x, hi_x):
+        if not lo_x <= tick <= hi_x:
+            continue
+        parts.append(
+            f'<line x1="{sx(tick):.1f}" y1="{pad_t}" x2="{sx(tick):.1f}" '
+            f'y2="{height - pad_b}" class="grid"/>'
+            f'<text x="{sx(tick):.1f}" y="{height - pad_b + 14:.1f}" '
+            f'class="tick" text-anchor="middle">{tick:g}</text>'
+        )
+    for tick in _log_ticks(lo_y, hi_y):
+        if not lo_y <= tick <= hi_y:
+            continue
+        parts.append(
+            f'<line x1="{pad_l}" y1="{sy(tick):.1f}" '
+            f'x2="{width - pad_r}" y2="{sy(tick):.1f}" class="grid"/>'
+            f'<text x="{pad_l - 6:.1f}" y="{sy(tick) + 3:.1f}" '
+            f'class="tick" text-anchor="end">{tick:g}</text>'
+        )
+    parts.append(
+        f'<rect x="{pad_l}" y="{pad_t}" width="{width - pad_l - pad_r}" '
+        f'height="{height - pad_t - pad_b}" class="frame"/>'
+    )
+    if fit is not None:
+        steps = 48
+        line = []
+        for index in range(steps + 1):
+            x = 10.0 ** (
+                math.log10(lo_x)
+                + (math.log10(hi_x) - math.log10(lo_x)) * index / steps
+            )
+            y = fit.predict(x)
+            if lo_y <= y <= hi_y:
+                line.append(f"{sx(x):.1f},{sy(y):.1f}")
+        if len(line) >= 2:
+            parts.append(
+                f'<polyline fill="none" class="fitline" '
+                f'points="{" ".join(line)}"/>'
+            )
+    for label, x, y in usable:
+        parts.append(
+            f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="4" class="dot">'
+            f"<title>{html.escape(label)}: {x:g}, {y:g}</title></circle>"
+        )
+    parts.append(
+        f'<text x="{(pad_l + width - pad_r) / 2:.1f}" y="{height - 4:.1f}" '
+        f'class="axis" text-anchor="middle">{html.escape(x_label)}</text>'
+        f'<text x="12" y="{(pad_t + height - pad_b) / 2:.1f}" class="axis" '
+        f'text-anchor="middle" transform="rotate(-90 12 '
+        f'{(pad_t + height - pad_b) / 2:.1f})">{html.escape(y_label)}</text>'
+        "</svg>"
+    )
+    return "".join(parts)
+
+
+def fleet_summary(records: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
+    """Aggregate fleet figures for the dashboard's stat tiles.
+
+    Robust to empty ledgers (all zeros) and to schema ``/1`` records
+    without a ``resources`` block (CPU totals skip them).
+    """
+    commands = {str(r.get("command", "?")) for r in records}
+    circuits = {
+        str(name) for r in records for name in r.get("circuits", ())
+    }
+    hits = sum(int((r.get("cache") or {}).get("hits", 0) or 0)
+               for r in records)
+    misses = sum(int((r.get("cache") or {}).get("misses", 0) or 0)
+                 for r in records)
+    cpu_s = 0.0
+    for record in records:
+        resources = record.get("resources")
+        if isinstance(resources, dict):
+            for key in ("cpu_user_s", "cpu_system_s"):
+                value = resources.get(key)
+                if isinstance(value, (int, float)):
+                    cpu_s += float(value)
+    stage_s: dict[str, float] = {}
+    for record in records:
+        stages = record.get("stage_seconds")
+        if isinstance(stages, dict):
+            for name, seconds in stages.items():
+                if isinstance(seconds, (int, float)):
+                    stage_s[str(name)] = stage_s.get(str(name), 0.0) \
+                        + float(seconds)
+    return {
+        "runs": len(records),
+        "commands": len(commands),
+        "circuits": len(circuits),
+        "wall_s": sum(float(r.get("wall_s", 0.0) or 0.0) for r in records),
+        "cpu_s": cpu_s,
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "cache_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        "stage_seconds": dict(sorted(stage_s.items())),
+    }
+
+
+# Palette: the validated default data-viz palette (categorical slot 1
+# blue / slot 3 aqua, same-hue darker step for the fit line, reserved
+# status red for anomalies), stepped per mode — dark is selected, not an
+# automatic flip.
 _CSS = """
+:root {
+  color-scheme: light dark;
+  --surface-1: #fcfcfb; --surface-2: #f3f2ef;
+  --text-primary: #0b0b0b; --text-secondary: #52514e;
+  --border: #d9d8d3;
+  --series-1: #2a78d6; --series-2: #1baf7a; --fit: #184f95;
+  --critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface-1: #1a1a19; --surface-2: #242423;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7;
+    --border: #3a3a37;
+    --series-1: #3987e5; --series-2: #199e70; --fit: #86b6ef;
+    --critical: #e66767;
+  }
+}
 body { font-family: ui-monospace, SFMono-Regular, Menlo, monospace;
-       margin: 2rem; color: #111; }
+       margin: 2rem; color: var(--text-primary);
+       background: var(--surface-1); }
 h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 2rem; }
+h3 { font-size: .95rem; margin: 1rem 0 .25rem; }
 table { border-collapse: collapse; margin-top: .5rem; }
-th, td { border: 1px solid #ccc; padding: .25rem .6rem;
+th, td { border: 1px solid var(--border); padding: .25rem .6rem;
          font-size: .85rem; text-align: right; }
-th { background: #f3f4f6; } td.l, th.l { text-align: left; }
+th { background: var(--surface-2); } td.l, th.l { text-align: left; }
 .spark { vertical-align: middle; margin-left: .75rem; }
-.meta { color: #555; font-size: .8rem; }
+.meta { color: var(--text-secondary); font-size: .8rem; }
+.tiles { display: flex; flex-wrap: wrap; gap: .75rem; margin: 1rem 0; }
+.tile { border: 1px solid var(--border); background: var(--surface-2);
+        border-radius: 6px; padding: .6rem .9rem; min-width: 7.5rem; }
+.tile .value { font-size: 1.35rem; font-weight: 600; }
+.tile .label { color: var(--text-secondary); font-size: .75rem; }
+.bars { margin: .5rem 0; max-width: 34rem; }
+.bar-row { display: flex; align-items: center; gap: .5rem;
+           font-size: .8rem; margin: .15rem 0; }
+.bar-row .name { width: 9rem; text-align: right;
+                 color: var(--text-secondary); }
+.bar-row .bar { height: 10px; background: var(--series-1);
+                border-radius: 2px; }
+.warnings { border: 1px solid var(--border); border-left: 4px solid
+            var(--critical); background: var(--surface-2);
+            border-radius: 4px; padding: .5rem .9rem; max-width: 46rem; }
+.warnings li { font-size: .82rem; margin: .2rem 0; }
+.plots { display: flex; flex-wrap: wrap; gap: 1.25rem; }
+figure { margin: 0; }
+figcaption { color: var(--text-secondary); font-size: .78rem;
+             max-width: 22.5rem; margin-top: .2rem; }
+.plot .grid { stroke: var(--border); stroke-width: 1; }
+.plot .frame { fill: none; stroke: var(--border); stroke-width: 1; }
+.plot .tick, .plot .axis { fill: var(--text-secondary); font-size: 10px;
+                           font-family: inherit; }
+.plot .axis { font-size: 11px; }
+.plot .dot { fill: var(--series-1); stroke: var(--surface-1);
+             stroke-width: 2; }
+.plot .fitline { stroke: var(--fit); stroke-width: 2;
+                 stroke-dasharray: 5 3; }
 """
 
 
@@ -156,12 +401,109 @@ def _metric_series(
     return series
 
 
+def _tile(value: str, label: str) -> str:
+    return (
+        f'<div class="tile"><div class="value">{html.escape(value)}</div>'
+        f'<div class="label">{html.escape(label)}</div></div>'
+    )
+
+
+def _stage_bars(stage_seconds: Mapping[str, float], top: int = 8) -> str:
+    ranked = sorted(stage_seconds.items(), key=lambda kv: (-kv[1], kv[0]))
+    ranked = [(name, seconds) for name, seconds in ranked if seconds > 0]
+    if not ranked:
+        return ""
+    peak = ranked[0][1]
+    rows = []
+    for name, seconds in ranked[:top]:
+        width = max(2, round(220.0 * seconds / peak))
+        rows.append(
+            f'<div class="bar-row"><span class="name">{html.escape(name)}'
+            f'</span><span class="bar" style="width:{width}px"></span>'
+            f"<span>{seconds:.2f}s</span></div>"
+        )
+    return (
+        "<h2>Stage seconds <span class='meta'>(summed across runs)"
+        "</span></h2>"
+        f'<div class="bars">{"".join(rows)}</div>'
+    )
+
+
+def _anomaly_panel(anomalies: Sequence[Anomaly], top: int = 10) -> str:
+    if not anomalies:
+        return (
+            "<h2>Anomalies</h2>"
+            '<p class="meta">No anomalous runs detected '
+            "(MAD z-score threshold 3.5, groups with ≥ 5 runs).</p>"
+        )
+    items = "".join(
+        f"<li>&#9888;&#65039; {html.escape(a.render())}</li>"
+        for a in anomalies[:top]
+    )
+    more = (
+        f'<li class="meta">... {len(anomalies) - top} more</li>'
+        if len(anomalies) > top
+        else ""
+    )
+    return (
+        f"<h2>Anomalies <span class='meta'>({len(anomalies)} flagged)"
+        "</span></h2>"
+        f'<ul class="warnings">{items}{more}</ul>'
+    )
+
+
+def _scaling_section(records: Sequence[Mapping[str, Any]]) -> str:
+    """Scaling plots for the command with the richest per-circuit data."""
+    frame = circuit_frame(records)
+    if not len(frame):
+        return ""
+    groups = frame.group_by("command")
+    (command,), best = max(
+        groups.items(), key=lambda kv: (len(kv[1]), kv[0])
+    )
+    fits = scaling_fits(best)
+    plotted: list[ScalingFit] = []
+    for metric in ("tests", "test_length", "clock_cycles", "wall_s"):
+        candidates = [f for f in fits if f.metric == metric]
+        if candidates:
+            plotted.append(max(candidates, key=lambda f: f.fit.r2))
+        if len(plotted) == 4:
+            break
+    if not plotted:
+        return ""
+    figures = []
+    for fit in plotted:
+        svg = scatter_plot(
+            fit.points, fit.fit, x_label=fit.size, y_label=fit.metric
+        )
+        if not svg:
+            continue
+        caption = (
+            f"{fit.fit.formula(fit.metric, fit.size)} "
+            f"(R²={fit.fit.r2:.3f}, {fit.fit.n} circuits, "
+            f"dashed line = fit)"
+        )
+        figures.append(
+            f"<figure>{svg}<figcaption>{html.escape(caption)}"
+            "</figcaption></figure>"
+        )
+    if not figures:
+        return ""
+    return (
+        f"<h2>Scaling <span class='meta'>({html.escape(str(command))}, "
+        "log–log)</span></h2>"
+        f'<div class="plots">{"".join(figures)}</div>'
+    )
+
+
 def render_html(
     records: Sequence[Mapping[str, Any]],
     title: str = "repro-fsatpg run ledger",
 ) -> str:
-    """A self-contained dashboard: per-command trend tables + sparklines."""
+    """The self-contained dashboard (see the module docstring)."""
     commands = sorted({str(r.get("command", "?")) for r in records})
+    fleet = fleet_summary(records)
+    anomalies = detect_anomalies(records)
     parts = [
         "<!doctype html>",
         '<html lang="en"><head><meta charset="utf-8">',
@@ -171,6 +513,30 @@ def render_html(
         f'<p class="meta">{len(records)} records, '
         f"{len(commands)} commands</p>",
     ]
+    if records:
+        parts.append(
+            '<div class="tiles">'
+            + _tile(str(fleet["runs"]), "runs")
+            + _tile(str(fleet["commands"]), "commands")
+            + _tile(str(fleet["circuits"]), "circuits")
+            + _tile(f"{fleet['wall_s']:.1f}s", "wall time")
+            + _tile(f"{fleet['cpu_s']:.1f}s", "CPU time")
+            + _tile(
+                f"{100.0 * fleet['cache_hit_rate']:.1f}%",
+                f"cache hit rate ({fleet['cache_hits']}h/"
+                f"{fleet['cache_misses']}m)",
+            )
+            + "</div>"
+        )
+        bars = _stage_bars(fleet["stage_seconds"])
+        if bars:
+            parts.append(bars)
+        parts.append(_anomaly_panel(anomalies))
+        scaling = _scaling_section(records)
+        if scaling:
+            parts.append(scaling)
+    flagged = {a.index for a in anomalies}
+    indexed = {id(record): i for i, record in enumerate(records)}
     for command in commands:
         selected = command_records(records, command)
         walls = _metric_series(selected, lambda r: r.get("wall_s"))
@@ -179,7 +545,7 @@ def render_html(
             f"<h2>{html.escape(command)} "
             f'<span class="meta">({len(selected)} runs)</span>'
             f"{sparkline(walls)}"
-            f"{sparkline(tests, stroke='#16a34a')}</h2>"
+            f"{sparkline(tests, stroke='var(--series-2)')}</h2>"
         )
         header_cells = "".join(
             f'<th class="l">{html.escape(name)}</th>'
@@ -187,17 +553,22 @@ def render_html(
             else f"<th>{html.escape(name)}</th>"
             for name in _HISTORY_HEADERS
         )
+        shown = selected[-30:]
         body_rows = []
-        for row in history_rows(selected[-30:]):
+        for record, row in zip(shown, history_rows(shown)):
             cells = "".join(
                 f'<td class="l">{html.escape(cell)}</td>'
                 if index < 2
                 else f"<td>{html.escape(cell)}</td>"
                 for index, cell in enumerate(row)
             )
+            if indexed.get(id(record)) in flagged:
+                cells += '<td title="anomalous run">&#9888;&#65039;</td>'
+            else:
+                cells += "<td></td>"
             body_rows.append(f"<tr>{cells}</tr>")
         parts.append(
-            f"<table><thead><tr>{header_cells}</tr></thead>"
+            f"<table><thead><tr>{header_cells}<th>!</th></tr></thead>"
             f"<tbody>{''.join(body_rows)}</tbody></table>"
         )
     if not records:

@@ -52,6 +52,7 @@ __all__ = [
     "build_record",
     "append_record",
     "read_records",
+    "prune_records",
     "normalized",
     "validate_record",
 ]
@@ -278,6 +279,89 @@ def read_records(directory: Path | None = None) -> list[dict[str, Any]]:
             continue
         records.append(record)
     return records
+
+
+def prune_records(
+    keep: int, directory: Path | None = None
+) -> dict[str, int] | None:
+    """Rewrite the ledger keeping the newest ``keep`` records per circuit.
+
+    Long-lived ledger directories grow without bound (one record per
+    invocation, forever); pruning bounds them while preserving enough
+    history per circuit for ``history``/``diff``/anomaly detection.  A
+    record naming several circuits survives if it is among the newest
+    ``keep`` for *any* of them; a record naming none (e.g. a failed run
+    recorded before circuit resolution) is grouped under its command name
+    instead.  Surviving lines are rewritten byte-for-byte (no re-
+    serialization), corrupt lines are dropped and counted, and the rewrite
+    is atomic (temp file + :func:`os.replace`) so a reader never sees a
+    half-pruned log.
+
+    Returns ``{"kept": ..., "pruned": ..., "corrupt": ...}``, or ``None``
+    when the ledger is disabled or the file does not exist.
+    """
+    if keep < 1:
+        raise ValueError(f"--keep must be >= 1, got {keep}")
+    root = directory if directory is not None else ledger_dir()
+    if root is None:
+        return None
+    path = root / LEDGER_FILENAME
+    if not path.exists():
+        return None
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        _LOG.warning(f"could not read ledger for pruning: {exc}")
+        return None
+    parsed: list[tuple[str, dict[str, Any]]] = []
+    corrupt = 0
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            record = json.loads(stripped)
+        except json.JSONDecodeError:
+            corrupt += 1
+            continue
+        if not isinstance(record, dict):
+            corrupt += 1
+            continue
+        parsed.append((stripped, record))
+    counts: dict[str, int] = {}
+    keep_flags: list[bool] = []
+    for _, record in reversed(parsed):
+        circuits = record.get("circuits")
+        groups = (
+            [str(name) for name in circuits]
+            if isinstance(circuits, list) and circuits
+            else [f"command:{record.get('command', '?')}"]
+        )
+        keep_flags.append(any(counts.get(g, 0) < keep for g in groups))
+        for group in groups:
+            counts[group] = counts.get(group, 0) + 1
+    keep_flags.reverse()
+    survivors = [line for (line, _), kept in zip(parsed, keep_flags) if kept]
+    temp = path.with_suffix(".jsonl.tmp")
+    try:
+        with open(temp, "w") as handle:
+            for line in survivors:
+                handle.write(line + "\n")
+        os.replace(temp, path)
+    except OSError as exc:
+        _LOG.warning(f"could not rewrite ledger: {exc}")
+        try:
+            temp.unlink()
+        except OSError:
+            pass
+        return None
+    summary = {
+        "kept": len(survivors),
+        "pruned": len(parsed) - len(survivors),
+        "corrupt": corrupt,
+    }
+    _LOG.debug("ledger pruned", **{k: str(v) for k, v in summary.items()})
+    return summary
 
 
 #: Fields stripped by :func:`normalized`: run identity and anything timing-

@@ -181,6 +181,20 @@ def compare_reports(
                 )
             )
 
+    if any(r.kind == "stage-time" for r in report.regressions):
+        # Explain *why* the gate tripped, not just that it did: the same
+        # delta attribution `diff` uses, over the full stage vector.
+        from repro.obs.analytics import attribute_deltas, render_attribution
+
+        attribution = render_attribution(
+            attribute_deltas(
+                {k: float(v) for k, v in base_stages.items()},
+                {k: float(v) for k, v in current_stages.items()},
+            )
+        )
+        if attribution:
+            report.notes.append(f"stage-time shift attribution: {attribution}")
+
     base_resources = (
         baseline.get("runs", {}).get("serial_cold", {}).get("resources")
     )

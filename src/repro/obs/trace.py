@@ -362,7 +362,10 @@ def to_chrome(events: Sequence[SpanRecord]) -> dict[str, Any]:
 
     Spans become complete ("ph": "X") events with microsecond timestamps
     rebased to the earliest span; each process gets a ``process_name``
-    metadata record ("main", "worker-1", ...).
+    metadata record ("main", "worker-1", ...).  Spans that measured a
+    tracemalloc peak additionally emit a ``mem_peak`` counter ("ph": "C")
+    sample at their start timestamp, so trace viewers draw a per-process
+    memory track alongside the flame chart.
     """
     ordinals = _pid_ordinals(events)
     base_ns = min((event.start_ns for event in events), default=0)
@@ -393,6 +396,18 @@ def to_chrome(events: Sequence[SpanRecord]) -> dict[str, Any]:
                          **event.attrs},
             }
         )
+        if event.mem_peak_bytes > 0:
+            trace_events.append(
+                {
+                    "name": "mem_peak",
+                    "cat": "repro",
+                    "ph": "C",
+                    "ts": (event.start_ns - base_ns) / 1000.0,
+                    "pid": ordinals[event.pid],
+                    "tid": 0,
+                    "args": {"bytes": event.mem_peak_bytes},
+                }
+            )
     return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
 
@@ -479,6 +494,18 @@ def validate_chrome_trace(obj: Any) -> list[str]:
                                 f"{where}: repro event args.{key} "
                                 "must be a number"
                             )
+        elif phase == "C":
+            if not isinstance(event.get("ts"), (int, float)):
+                problems.append(f"{where}: 'ts' must be a number")
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                problems.append(f"{where}: counter event lacks 'args'")
+            elif not all(
+                isinstance(value, (int, float)) for value in args.values()
+            ):
+                problems.append(
+                    f"{where}: counter args must all be numeric"
+                )
     return problems
 
 

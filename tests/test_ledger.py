@@ -272,6 +272,32 @@ class TestHistoryViews:
     def test_render_html_empty(self):
         assert "The ledger is empty." in render_html([])
 
+    def test_render_html_single_record(self):
+        # Degenerate ledger: one record must render without sparklines
+        # (they need >= 2 points), plots (>= 3 circuits), or min/max traps.
+        html = render_html(synthetic_records(1))
+        assert "<!doctype html>" in html
+        assert "<table>" in html
+        assert 'class="spark"' not in html
+        assert "<figure>" not in html
+
+    def test_render_history_single_record(self):
+        text = render_history(synthetic_records(1), "table5")
+        assert "table5 history (1 of 1 runs)" in text
+
+    def test_fleet_summary_degenerate_and_schema1(self):
+        from repro.obs.history import fleet_summary
+
+        empty = fleet_summary([])
+        assert empty["runs"] == 0
+        assert empty["cache_hit_rate"] == 0.0
+        # Schema /1 records (no resources block) contribute zero CPU.
+        record = dict(synthetic_records(1)[0])
+        record.pop("resources")
+        summary = fleet_summary([record])
+        assert summary["runs"] == 1
+        assert summary["cpu_s"] == 0.0
+
     def test_history_and_report_cli(self, tmp_path, capsys):
         assert main(["table5", "--circuits", "lion"]) == 0
         capsys.readouterr()

@@ -165,6 +165,31 @@ class TestSpanResources:
         problems = validate_chrome_trace(chrome)
         assert any("cpu_us" in p for p in problems)
 
+    def test_chrome_trace_memory_counter_track(self):
+        with obs.observing(deep_memory=True) as session:
+            with span("hungry"):
+                _ = [0] * 100_000
+        chrome = to_chrome(session.tracer.events)
+        assert validate_chrome_trace(chrome) == []
+        (counter,) = [e for e in chrome["traceEvents"] if e["ph"] == "C"]
+        assert counter["name"] == "mem_peak"
+        assert counter["args"]["bytes"] > 0
+        # Without deep memory no peak is measured, so no counter track.
+        with obs.observing() as session:
+            with span("plain"):
+                pass
+        chrome = to_chrome(session.tracer.events)
+        assert [e for e in chrome["traceEvents"] if e["ph"] == "C"] == []
+
+    def test_counter_event_validation(self):
+        bad = {"traceEvents": [
+            {"name": "mem_peak", "ph": "C", "pid": 0, "tid": 0,
+             "ts": 1.0, "args": {"bytes": "not-a-number"}},
+        ]}
+        assert any(
+            "numeric" in p for p in validate_chrome_trace(bad)
+        )
+
     def test_aggregate_spans_carries_resources(self):
         with obs.observing(deep_memory=True) as session:
             with span("outer"):
